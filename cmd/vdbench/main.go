@@ -1,0 +1,111 @@
+// Command vdbench runs the versadep evaluation harness: it regenerates
+// every table and figure of the paper's evaluation (§4) and prints them in
+// the paper's format.
+//
+// Usage:
+//
+//	vdbench                      # run everything with default options
+//	vdbench -exp fig3            # one experiment: fig3 fig4 fig6 fig7
+//	                             # table2 fig9 switchdelay
+//	vdbench -requests 10000      # the paper's full 10,000-request cycle
+//	vdbench -seed 7              # different deterministic seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"versadep/internal/experiment"
+	"versadep/internal/knobs"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment to run: all, fig3, fig4, fig6, fig7, table2, fig9, switchdelay")
+		requests = flag.Int("requests", 0, "requests per client cycle (default harness setting; paper uses 10000)")
+		seed     = flag.Uint64("seed", 0, "deterministic seed (default harness setting)")
+		replicas = flag.Int("replicas", 3, "max replicas for the fig7 sweep")
+		clients  = flag.Int("clients", 5, "max clients for the fig7 sweep")
+	)
+	flag.Parse()
+	if err := run(*exp, *requests, *seed, *replicas, *clients); err != nil {
+		fmt.Fprintln(os.Stderr, "vdbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, requests int, seed uint64, maxReplicas, maxClients int) error {
+	o := experiment.DefaultOptions()
+	if requests > 0 {
+		o.Requests = requests
+	}
+	if seed > 0 {
+		o.Seed = seed
+	}
+
+	want := func(name string) bool { return exp == "all" || strings.EqualFold(exp, name) }
+	ran := false
+
+	if want("fig3") {
+		ran = true
+		res, err := experiment.RunFig3(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiment.RenderFig3(res))
+	}
+	if want("fig4") {
+		ran = true
+		rows, err := experiment.RunFig4(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiment.RenderFig4(rows))
+	}
+	if want("fig6") {
+		ran = true
+		res, err := experiment.RunFig6(o,
+			experiment.DefaultFig6Profile(o.Requests),
+			experiment.DefaultFig6Thresholds())
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiment.RenderFig6(res, 24))
+	}
+
+	var points []experiment.Fig7Point
+	needFig7 := want("fig7") || want("table2") || want("fig9")
+	if needFig7 {
+		ran = true
+		var err error
+		points, err = experiment.RunFig7(o, maxReplicas, maxClients)
+		if err != nil {
+			return err
+		}
+	}
+	if want("fig7") {
+		fmt.Println(experiment.RenderFig7(points))
+	}
+	if want("table2") {
+		req := knobs.PaperRequirements()
+		rows, infeasible := experiment.RunTable2(points, req, maxClients)
+		fmt.Println(experiment.RenderTable2(rows, infeasible, req))
+	}
+	if want("fig9") {
+		fmt.Println(experiment.RenderFig9(experiment.RunFig9(points)))
+	}
+	if want("switchdelay") {
+		ran = true
+		res, err := experiment.RunSwitchDelay(o, 3)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiment.RenderSwitchDelay(res))
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}

@@ -1,0 +1,49 @@
+// Adaptive replication (the paper's Figure 6 live): a replica group under
+// a load profile that ramps up and back down, with a rate-threshold
+// adaptation policy switching the replication style at runtime — warm
+// passive while quiet (resource-frugal), active under pressure (fast).
+//
+//	go run ./examples/adaptive
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"versadep/internal/experiment"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	o := experiment.DefaultOptions()
+	o.Requests = 600
+
+	// The offered load: think-time phases crossing the thresholds both
+	// ways, like Figure 6's ramp.
+	profile := experiment.DefaultFig6Profile(o.Requests)
+	th := experiment.DefaultFig6Thresholds()
+	fmt.Printf("adaptation policy: switch to ACTIVE above %.0f req/s, back to WARM-PASSIVE below %.0f req/s\n\n",
+		th.High, th.Low)
+
+	res, err := experiment.RunFig6(o, profile, th)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiment.RenderFig6(res, 30))
+
+	fmt.Println("\nreading the result:")
+	fmt.Println("  - while the offered rate is low the group runs warm-passive,")
+	fmt.Println("    spending one execution + periodic checkpoints;")
+	fmt.Println("  - when the rate crosses the threshold every replica reaches the")
+	fmt.Println("    same decision on the replicated state and the group switches to")
+	fmt.Println("    active replication through the totally ordered switch protocol;")
+	fmt.Println("  - faster replies under load let closed-loop clients submit sooner,")
+	fmt.Printf("    which is the throughput gain over static passive: %+.1f%% here,\n", res.GainPct)
+	fmt.Println("    +4.1% in the paper (§4.2).")
+	return nil
+}

@@ -1,0 +1,52 @@
+// The scalability knob (§4.3): empirically measure every configuration of
+// the dependability design space, then let the high-level knob choose the
+// best configuration per client count under latency, bandwidth and
+// fault-tolerance requirements — regenerating the paper's Table 2.
+//
+//	go run ./examples/scalability
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"versadep/internal/experiment"
+	"versadep/internal/knobs"
+	"versadep/internal/vtime"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	o := experiment.DefaultOptions()
+	o.Requests = 250
+
+	fmt.Println("step 1 — gather the empirical dataset (Figure 7 sweep)...")
+	points, err := experiment.RunFig7(o, 3, 5)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiment.RenderFig7(points))
+
+	fmt.Println("\nstep 2 — apply the paper's requirements (§4.3):")
+	req := knobs.PaperRequirements()
+	rows, infeasible := experiment.RunTable2(points, req, 5)
+	fmt.Print(experiment.RenderTable2(rows, infeasible, req))
+
+	fmt.Println("\nstep 3 — what happens with tighter requirements?")
+	tight := knobs.Requirements{
+		MaxLatency:      2500 * vtime.Microsecond,
+		MaxBandwidthMBs: 2.5,
+		LatencyWeight:   0.5,
+	}
+	rows, infeasible = experiment.RunTable2(points, tight, 5)
+	fmt.Print(experiment.RenderTable2(rows, infeasible, tight))
+	fmt.Println("\nwith hard real-time latency limits the passive styles drop out, and")
+	fmt.Println("beyond the feasible load the knob reports that no configuration can")
+	fmt.Println("honor the policy — the operator notification of §4.3.")
+	return nil
+}

@@ -1,0 +1,170 @@
+// Sensor-network mission modes (the paper's §5 motivating scenario): a
+// long-running system that cannot be stopped, running resource-frugal
+// warm-passive replication most of the time, and switching to active
+// replication only during narrow mission windows where response time and
+// instant recovery matter — then dropping back to conserve resources.
+//
+//	go run ./examples/sensornet
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"versadep"
+	"versadep/internal/codec"
+)
+
+// telemetryApp aggregates sensor readings deterministically.
+type telemetryApp struct {
+	mu      sync.Mutex
+	count   int64
+	sum     int64
+	highest int64
+}
+
+func newTelemetryApp() versadep.Application { return &telemetryApp{} }
+
+func (a *telemetryApp) Invoke(op string, args []codec.Value) ([]codec.Value, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	switch op {
+	case "report":
+		v := args[0].Int
+		a.count++
+		a.sum += v
+		if v > a.highest {
+			a.highest = v
+		}
+		return []codec.Value{codec.Int(a.count)}, nil
+	case "summary":
+		return []codec.Value{codec.Int(a.count), codec.Int(a.sum), codec.Int(a.highest)}, nil
+	default:
+		return nil, fmt.Errorf("unknown op %q", op)
+	}
+}
+
+func (a *telemetryApp) State() []byte {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	e := codec.NewEncoder(24)
+	e.PutInt64(a.count)
+	e.PutInt64(a.sum)
+	e.PutInt64(a.highest)
+	return e.Bytes()
+}
+
+func (a *telemetryApp) Restore(state []byte) error {
+	d := codec.NewDecoder(state)
+	count, err := d.Int64()
+	if err != nil {
+		return err
+	}
+	sum, err := d.Int64()
+	if err != nil {
+		return err
+	}
+	highest, err := d.Int64()
+	if err != nil {
+		return err
+	}
+	a.mu.Lock()
+	a.count, a.sum, a.highest = count, sum, highest
+	a.mu.Unlock()
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func waitStyle(g *versadep.Group, want versadep.Style) error {
+	deadline := time.Now().Add(5 * time.Second)
+	for g.Style() != want {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("style did not reach %v (still %v)", want, g.Style())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return nil
+}
+
+func run() error {
+	sys := versadep.NewSystem()
+	defer sys.Close()
+
+	group, err := sys.StartGroup("telemetry", 3, versadep.GroupConfig{
+		Style:           versadep.WarmPassive, // conservative cruise mode
+		CheckpointEvery: 10,
+		NewApp:          newTelemetryApp,
+	})
+	if err != nil {
+		return err
+	}
+	station, err := sys.NewClient(group)
+	if err != nil {
+		return err
+	}
+	defer station.Close()
+
+	report := func(phase string, n int, base int64) error {
+		var lastRTT time.Duration
+		for i := 0; i < n; i++ {
+			reply, err := station.Invoke("App", "report", base+int64(i))
+			if err != nil {
+				return err
+			}
+			lastRTT = reply.RTT
+		}
+		fmt.Printf("  [%s] %d readings ingested, last rtt %.1fµs, style %v\n",
+			phase, n, lastRTT.Seconds()*1e6, group.Style())
+		return nil
+	}
+
+	fmt.Println("== cruise mode: warm-passive, conserving the sensor budget ==")
+	if err := report("cruise", 30, 100); err != nil {
+		return err
+	}
+
+	fmt.Println("\n== mission window opens: switch to active for fast response ==")
+	group.SetStyle(versadep.Active)
+	if err := waitStyle(group, versadep.Active); err != nil {
+		return err
+	}
+	if err := report("mission", 40, 1000); err != nil {
+		return err
+	}
+
+	fmt.Println("\n== a node is lost during the mission — active masks it instantly ==")
+	if err := group.Crash(2); err != nil {
+		return err
+	}
+	if err := report("mission-degraded", 20, 2000); err != nil {
+		return err
+	}
+
+	fmt.Println("\n== window closes: back to warm-passive to conserve resources ==")
+	group.SetStyle(versadep.WarmPassive)
+	if err := waitStyle(group, versadep.WarmPassive); err != nil {
+		return err
+	}
+	if err := report("cruise", 20, 3000); err != nil {
+		return err
+	}
+
+	reply, err := station.Invoke("App", "summary")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nmission summary: %d readings, sum %d, peak %d — nothing lost across\n",
+		reply.Results[0].Int, reply.Results[1].Int, reply.Results[2].Int)
+	fmt.Println("two live style switches and a mid-mission node loss.")
+	if got, want := reply.Results[0].Int, int64(110); got != want {
+		return fmt.Errorf("reading count = %d, want %d", got, want)
+	}
+	return nil
+}

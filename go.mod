@@ -1,0 +1,3 @@
+module versadep
+
+go 1.22

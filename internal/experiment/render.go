@@ -1,0 +1,155 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"versadep/internal/knobs"
+	"versadep/internal/replication"
+	"versadep/internal/vtime"
+)
+
+// us formats a duration in microseconds, the paper's unit.
+func us(d vtime.Duration) string {
+	return fmt.Sprintf("%.1f", d.Seconds()*1e6)
+}
+
+// RenderFig3 prints the round-trip breakdown like Figure 3.
+func RenderFig3(r *Fig3Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 3 — break-down of the average round-trip time (%d requests)\n", r.Requests)
+	fmt.Fprintf(&b, "  %-22s %10s\n", "component", "µs")
+	for _, c := range []vtime.Component{
+		vtime.ComponentApp, vtime.ComponentORB,
+		vtime.ComponentGC, vtime.ComponentReplicator,
+	} {
+		fmt.Fprintf(&b, "  %-22s %10s\n", c, us(r.Breakdown[c]))
+	}
+	var sum vtime.Duration
+	for _, d := range r.Breakdown {
+		sum += d
+	}
+	fmt.Fprintf(&b, "  %-22s %10s\n", "sum of components", us(sum))
+	fmt.Fprintf(&b, "  %-22s %10s\n", "mean round-trip", us(r.MeanRTT))
+	return b.String()
+}
+
+// RenderFig4 prints the overhead comparison like Figure 4.
+func RenderFig4(rows []Fig4Row) string {
+	var b strings.Builder
+	b.WriteString("Figure 4 — overhead of the replicator (remote client–server)\n")
+	fmt.Fprintf(&b, "  %-30s %12s %12s\n", "configuration", "mean µs", "jitter µs")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-30s %12s %12s\n", r.Name, us(r.Mean), us(r.Jitter))
+	}
+	return b.String()
+}
+
+// RenderFig6 prints the adaptive-replication timeline and throughput
+// comparison like Figure 6.
+func RenderFig6(r *Fig6Result, maxPoints int) string {
+	var b strings.Builder
+	b.WriteString("Figure 6 — low-level knob: adaptive replication\n")
+	fmt.Fprintf(&b, "  switches completed: %d\n", len(r.Switches))
+	for _, sw := range r.Switches {
+		fmt.Fprintf(&b, "    t=%-12s -> %-12s (switch delay %s µs)\n",
+			sw.VT, sw.Style, us(sw.Delay))
+	}
+	fmt.Fprintf(&b, "  adaptive throughput: %8.1f req/s\n", r.AdaptiveThroughput)
+	fmt.Fprintf(&b, "  static passive:      %8.1f req/s\n", r.StaticThroughput)
+	fmt.Fprintf(&b, "  adaptive gain:       %8.1f %% (paper: +4.1%%)\n", r.GainPct)
+	if maxPoints > 0 && len(r.Points) > 0 {
+		b.WriteString("  rate timeline (vt, req/s, style):\n")
+		stride := len(r.Points)/maxPoints + 1
+		for i := 0; i < len(r.Points); i += stride {
+			p := r.Points[i]
+			fmt.Fprintf(&b, "    %-14s %8.0f  %s\n", p.VT, p.Value, p.Label)
+		}
+	}
+	return b.String()
+}
+
+// RenderFig7 prints the latency/bandwidth sweep like Figure 7(a)+(b).
+func RenderFig7(points []Fig7Point) string {
+	var b strings.Builder
+	b.WriteString("Figure 7 — trade-off between latency and bandwidth usage\n")
+	fmt.Fprintf(&b, "  %-14s %9s %9s %12s %12s %12s %8s\n",
+		"style", "replicas", "clients", "latency µs", "jitter µs", "bw MB/s", "faults")
+	for _, p := range points {
+		fmt.Fprintf(&b, "  %-14s %9d %9d %12s %12s %12.3f %8d\n",
+			p.Style, p.Replicas, p.Clients, us(p.MeanLatency), us(p.Jitter),
+			p.BandwidthMBs, p.FaultsTolerated)
+	}
+	return b.String()
+}
+
+// RenderTable2 prints the scalability policy like Table 2.
+func RenderTable2(rows []Table2Row, infeasible []int, req knobs.Requirements) string {
+	var b strings.Builder
+	b.WriteString("Table 2 — policy for scalability tuning\n")
+	fmt.Fprintf(&b, "  requirements: latency <= %s µs, bandwidth <= %.1f MB/s, p = %.2f\n",
+		us(req.MaxLatency), req.MaxBandwidthMBs, req.LatencyWeight)
+	fmt.Fprintf(&b, "  %-8s %-14s %12s %12s %8s %8s\n",
+		"Ncli", "configuration", "latency µs", "bw MB/s", "faults", "cost")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-8d %-14s %12s %12.3f %8d %8.3f\n",
+			r.Clients, r.Config, us(r.Latency), r.Bandwidth, r.FaultsTolerated, r.Cost)
+	}
+	for _, n := range infeasible {
+		fmt.Fprintf(&b, "  %-8d %s\n", n,
+			"NO FEASIBLE CONFIGURATION — operators must define a new policy (§4.3)")
+	}
+	return b.String()
+}
+
+// RenderFig9 prints the normalized design-space dataset like Figure 9.
+func RenderFig9(points []Fig9Point) string {
+	var b strings.Builder
+	b.WriteString("Figure 9 — replication styles in the normalized dependability design space\n")
+	fmt.Fprintf(&b, "  %-14s %9s %9s %8s %8s %8s\n",
+		"style", "replicas", "clients", "FT", "perf", "res")
+	for _, p := range points {
+		fmt.Fprintf(&b, "  %-14s %9d %9d %8.3f %8.3f %8.3f\n",
+			p.Style, p.Replicas, p.Clients, p.FaultTolerance, p.Performance, p.Resources)
+	}
+	return b.String()
+}
+
+// RenderSwitchDelay prints the §4.2 switch-delay measurement.
+func RenderSwitchDelay(r *SwitchDelayResult) string {
+	var b strings.Builder
+	b.WriteString("§4.2 — replication-style switch delay vs. average response time\n")
+	fmt.Fprintf(&b, "  mean round-trip: %s µs\n", us(r.MeanRTT))
+	for i, d := range r.SwitchDelays {
+		fmt.Fprintf(&b, "  switch %d delay: %s µs (%.2fx mean RTT)\n",
+			i+1, us(d), float64(d)/float64(r.MeanRTT))
+	}
+	return b.String()
+}
+
+// StyleRegions summarizes Figure 9's observation that the two styles
+// occupy disjoint regions: for each style, the performance and resource
+// ranges across the dataset.
+func StyleRegions(points []Fig9Point) map[replication.Style][4]float64 {
+	out := make(map[replication.Style][4]float64)
+	for _, p := range points {
+		r, ok := out[p.Style]
+		if !ok {
+			r = [4]float64{p.Performance, p.Performance, p.Resources, p.Resources}
+		}
+		if p.Performance < r[0] {
+			r[0] = p.Performance
+		}
+		if p.Performance > r[1] {
+			r[1] = p.Performance
+		}
+		if p.Resources < r[2] {
+			r[2] = p.Resources
+		}
+		if p.Resources > r[3] {
+			r[3] = p.Resources
+		}
+		out[p.Style] = r
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package experiment
+
+import (
+	"fmt"
+	"sync"
+
+	"versadep/internal/monitor"
+	"versadep/internal/replication"
+	"versadep/internal/replicator"
+	"versadep/internal/vtime"
+)
+
+// Scenario is an interactively drivable system: a replica group plus
+// clients, with hooks for mid-run events. It backs cmd/vdsim and the
+// examples.
+type Scenario struct {
+	e       *env
+	opts    Options
+	maxEnd  vtime.Time
+	maxEndM sync.Mutex
+}
+
+// NewScenario boots a group of replicas in the given style plus clients.
+func NewScenario(o Options, style replication.Style, replicas, clients int,
+	observer func(replication.Notice)) (*Scenario, error) {
+	e, err := buildEnv(o, style, replicas, clients, nil, observer)
+	if err != nil {
+		return nil, err
+	}
+	e.net.ResetStats()
+	return &Scenario{e: e, opts: o}, nil
+}
+
+// Close shuts the scenario down.
+func (s *Scenario) Close() { s.e.close() }
+
+// RunClosedLoop drives every client through the configured request cycle.
+// onReply observes the first client's replies (request index, virtual
+// completion time, round trip) so callers can inject events at specific
+// points of the run.
+func (s *Scenario) RunClosedLoop(onReply func(i int, vt vtime.Time, rtt vtime.Duration)) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(s.e.clients))
+	args, err := replicator.ToValues([]interface{}{make([]byte, s.opts.RequestBytes)})
+	if err != nil {
+		return err
+	}
+	for ci, c := range s.e.clients {
+		wg.Add(1)
+		go func(ci int, c *replicator.ClientNode) {
+			defer wg.Done()
+			var vt vtime.Time
+			for i := 0; i < s.opts.Requests; i++ {
+				out, err := c.ORB().Invoke("Bench", "work", args, vt)
+				if err != nil {
+					errs[ci] = fmt.Errorf("client %d request %d: %w", ci, i, err)
+					return
+				}
+				vt = out.DoneVT
+				if ci == 0 && onReply != nil {
+					onReply(i, vt, out.RTT())
+				}
+			}
+			s.maxEndM.Lock()
+			if vt.After(s.maxEnd) {
+				s.maxEnd = vt
+			}
+			s.maxEndM.Unlock()
+		}(ci, c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Switch requests a runtime replication-style switch.
+func (s *Scenario) Switch(target replication.Style, vt vtime.Time) {
+	for _, n := range s.e.nodes {
+		if !s.e.net.Crashed(n.Addr()) {
+			n.Engine().RequestSwitch(target, vt)
+			return
+		}
+	}
+}
+
+// CrashPrimary kills the rank-0 replica.
+func (s *Scenario) CrashPrimary() {
+	for _, n := range s.e.nodes {
+		if !s.e.net.Crashed(n.Addr()) {
+			s.e.net.Crash(n.Addr())
+			return
+		}
+	}
+}
+
+// Style reports the current style at the first live replica.
+func (s *Scenario) Style() replication.Style {
+	for _, n := range s.e.nodes {
+		if !s.e.net.Crashed(n.Addr()) {
+			return n.Engine().Style()
+		}
+	}
+	return 0
+}
+
+// Members lists live replica addresses.
+func (s *Scenario) Members() []string {
+	var out []string
+	for _, n := range s.e.nodes {
+		if !s.e.net.Crashed(n.Addr()) {
+			out = append(out, n.Addr())
+		}
+	}
+	return out
+}
+
+// BandwidthMBs reports network usage over the run's virtual makespan.
+func (s *Scenario) BandwidthMBs() float64 {
+	s.maxEndM.Lock()
+	end := s.maxEnd
+	s.maxEndM.Unlock()
+	return monitor.Bandwidth(s.e.net.Stats().BytesSent, end.Sub(0))
+}

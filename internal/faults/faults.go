@@ -1,0 +1,139 @@
+// Package faults orchestrates fault injection against the simulated
+// network fabric, covering the fault classes the paper assumes (§3.1):
+// process and node crash faults, transient communication faults (message
+// loss), and performance/timing faults (added delay).
+//
+// A Schedule is a deterministic script of timed fault actions; the
+// evaluation harness and the failure-injection tests use it to crash
+// primaries mid-protocol, create loss bursts, and partition groups at
+// controlled points of an experiment.
+package faults
+
+import (
+	"sync"
+	"time"
+
+	"versadep/internal/simnet"
+	"versadep/internal/vtime"
+)
+
+// Action is one fault operation applied to the fabric.
+type Action func(net *simnet.Network)
+
+// Crash kills the process at addr.
+func Crash(addr string) Action {
+	return func(n *simnet.Network) { n.Crash(addr) }
+}
+
+// Drop sets the loss probability on a link ("*" wildcards allowed).
+func Drop(from, to string, p float64) Action {
+	return func(n *simnet.Network) { n.SetDropProb(from, to, p) }
+}
+
+// Delay adds a fixed timing-fault delay on a link.
+func Delay(from, to string, d vtime.Duration) Action {
+	return func(n *simnet.Network) { n.SetExtraDelay(from, to, d) }
+}
+
+// Partition moves addr into partition id.
+func Partition(addr string, id int) Action {
+	return func(n *simnet.Network) { n.Partition(addr, id) }
+}
+
+// Heal removes all partitions.
+func Heal() Action {
+	return func(n *simnet.Network) { n.HealPartitions() }
+}
+
+// Step is a timed action.
+type Step struct {
+	// After is the real-time delay from schedule start (liveness
+	// machinery — failure detection, retransmission — runs in real
+	// time, so faults are injected on the same clock).
+	After time.Duration
+	// Do is the fault action.
+	Do Action
+	// Name labels the step in logs.
+	Name string
+}
+
+// Schedule is a deterministic fault script.
+type Schedule struct {
+	steps []Step
+}
+
+// At appends a step firing after d.
+func (s *Schedule) At(d time.Duration, name string, a Action) *Schedule {
+	s.steps = append(s.steps, Step{After: d, Do: a, Name: name})
+	return s
+}
+
+// Len returns the number of steps.
+func (s *Schedule) Len() int { return len(s.steps) }
+
+// Injector runs schedules against a fabric.
+type Injector struct {
+	net *simnet.Network
+
+	mu      sync.Mutex
+	stopped bool
+	stop    chan struct{}
+	done    chan struct{}
+	applied []string
+}
+
+// NewInjector creates an injector for net.
+func NewInjector(net *simnet.Network) *Injector {
+	return &Injector{
+		net:  net,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+}
+
+// Run executes the schedule asynchronously; the returned channel closes
+// when every step has fired (or the injector is stopped early).
+func (i *Injector) Run(s *Schedule) <-chan struct{} {
+	steps := append([]Step(nil), s.steps...)
+	go func() {
+		defer close(i.done)
+		start := time.Now()
+		for _, st := range steps {
+			wait := st.After - time.Since(start)
+			if wait > 0 {
+				select {
+				case <-time.After(wait):
+				case <-i.stop:
+					return
+				}
+			}
+			select {
+			case <-i.stop:
+				return
+			default:
+			}
+			st.Do(i.net)
+			i.mu.Lock()
+			i.applied = append(i.applied, st.Name)
+			i.mu.Unlock()
+		}
+	}()
+	return i.done
+}
+
+// Applied returns the names of the steps that have fired so far.
+func (i *Injector) Applied() []string {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return append([]string(nil), i.applied...)
+}
+
+// Stop aborts a running schedule.
+func (i *Injector) Stop() {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if !i.stopped {
+		i.stopped = true
+		close(i.stop)
+	}
+}

@@ -1,0 +1,98 @@
+package faults
+
+import (
+	"testing"
+	"time"
+
+	"versadep/internal/simnet"
+	"versadep/internal/vtime"
+)
+
+func TestScheduleRunsInOrder(t *testing.T) {
+	net := simnet.New()
+	defer net.Close()
+	if _, err := net.Endpoint("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Endpoint("b"); err != nil {
+		t.Fatal(err)
+	}
+
+	var s Schedule
+	s.At(0, "drop", Drop("a", "b", 1.0)).
+		At(10*time.Millisecond, "delay", Delay("b", "a", 5*vtime.Millisecond)).
+		At(20*time.Millisecond, "crash", Crash("b"))
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+
+	inj := NewInjector(net)
+	select {
+	case <-inj.Run(&s):
+	case <-time.After(5 * time.Second):
+		t.Fatal("schedule did not complete")
+	}
+	applied := inj.Applied()
+	if len(applied) != 3 || applied[0] != "drop" || applied[2] != "crash" {
+		t.Fatalf("applied = %v", applied)
+	}
+	if !net.Crashed("b") {
+		t.Fatal("crash step not applied")
+	}
+}
+
+func TestStopAbortsSchedule(t *testing.T) {
+	net := simnet.New()
+	defer net.Close()
+	if _, err := net.Endpoint("a"); err != nil {
+		t.Fatal(err)
+	}
+
+	var s Schedule
+	s.At(0, "first", Heal()).
+		At(10*time.Second, "never", Crash("a"))
+	inj := NewInjector(net)
+	done := inj.Run(&s)
+	time.Sleep(20 * time.Millisecond)
+	inj.Stop()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("stop did not abort the schedule")
+	}
+	if net.Crashed("a") {
+		t.Fatal("aborted step still fired")
+	}
+	inj.Stop() // idempotent
+	if got := inj.Applied(); len(got) != 1 || got[0] != "first" {
+		t.Fatalf("applied = %v", got)
+	}
+}
+
+func TestPartitionAndHealActions(t *testing.T) {
+	net := simnet.New()
+	defer net.Close()
+	epA, _ := net.Endpoint("a")
+	epB, _ := net.Endpoint("b")
+	_ = epB
+
+	Partition("b", 2)(net)
+	if err := epA.Send("b", []byte("x"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if net.Stats().MessagesDropped != 1 {
+		t.Fatal("partition action had no effect")
+	}
+	Heal()(net)
+	if err := epA.Send("b", []byte("y"), 0); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-epB.Recv():
+		if string(m.Payload) != "y" {
+			t.Fatalf("payload %q", m.Payload)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("heal action had no effect")
+	}
+}

@@ -1,0 +1,331 @@
+package gcs
+
+import (
+	"sync"
+	"time"
+
+	"versadep/internal/transport"
+	"versadep/internal/vtime"
+)
+
+// GroupClient is an open-group access point: a process that is not a group
+// member but can submit messages into the group's agreed stream and receive
+// reliable direct replies from members. This is how the paper's CORBA
+// clients interact with a replicated server through the replicator — the
+// client is unaware of the group, while its requests are totally ordered
+// with the group's internal traffic.
+type GroupClient struct {
+	send transport.Conn // ProtoGCS traffic toward members
+	cfg  ClientConfig
+	proc vtime.Server
+
+	inMu     sync.Mutex
+	inbox    []transport.Message
+	inNotify chan struct{}
+
+	cmds chan func()
+	stop chan struct{}
+	done chan struct{}
+
+	outMu     sync.Mutex
+	outq      []Event
+	outNotify chan struct{}
+	out       chan Event
+	outDone   chan struct{}
+
+	// owned by run goroutine:
+	members      []string
+	oseq         uint64
+	pending      map[uint64]*frame
+	pendOrder    []uint64
+	rotate       int // resend target rotation across ticks
+	directHigh   map[string]uint64
+	directSparse map[string]map[uint64]bool
+}
+
+// ClientConfig parameterizes a GroupClient.
+type ClientConfig struct {
+	// Members are address hints for the group; the client submits to the
+	// lowest-ranked hint and learns corrections via view hints.
+	Members []string
+	// ResendInterval is the retransmission period for unacknowledged
+	// submissions (real time).
+	ResendInterval time.Duration
+	// Model is the virtual-time cost model.
+	Model vtime.CostModel
+}
+
+// DefaultClientConfig returns client timing aligned with DefaultConfig.
+func DefaultClientConfig(members []string) ClientConfig {
+	return ClientConfig{
+		Members:        members,
+		ResendInterval: 30 * time.Millisecond,
+		Model:          vtime.DefaultCostModel(),
+	}
+}
+
+// NewClient starts a group client. The caller must route inbound
+// ProtoGroupClient messages to HandleTransport.
+func NewClient(send transport.Conn, cfg ClientConfig) *GroupClient {
+	if cfg.ResendInterval <= 0 {
+		cfg.ResendInterval = 30 * time.Millisecond
+	}
+	c := &GroupClient{
+		send:         send,
+		cfg:          cfg,
+		inNotify:     make(chan struct{}, 1),
+		cmds:         make(chan func()),
+		stop:         make(chan struct{}),
+		done:         make(chan struct{}),
+		outNotify:    make(chan struct{}, 1),
+		out:          make(chan Event),
+		outDone:      make(chan struct{}),
+		members:      append([]string(nil), cfg.Members...),
+		pending:      make(map[uint64]*frame),
+		directHigh:   make(map[string]uint64),
+		directSparse: make(map[string]map[uint64]bool),
+	}
+	go c.run()
+	go c.pumpOut()
+	return c
+}
+
+// Addr returns the client's address.
+func (c *GroupClient) Addr() string { return c.send.Addr() }
+
+// Out returns the stream of direct deliveries (EventDirect) from group
+// members. The channel closes when the client stops.
+func (c *GroupClient) Out() <-chan Event { return c.out }
+
+// HandleTransport ingests an inbound ProtoGroupClient message. Safe from
+// any goroutine; never blocks.
+func (c *GroupClient) HandleTransport(msg transport.Message) {
+	c.inMu.Lock()
+	c.inbox = append(c.inbox, msg)
+	c.inMu.Unlock()
+	select {
+	case c.inNotify <- struct{}{}:
+	default:
+	}
+}
+
+// Stop shuts the client down.
+func (c *GroupClient) Stop() {
+	select {
+	case <-c.stop:
+		return
+	default:
+	}
+	close(c.stop)
+	<-c.done
+	<-c.outDone
+}
+
+func (c *GroupClient) do(fn func()) error {
+	donec := make(chan struct{})
+	select {
+	case c.cmds <- func() { fn(); close(donec) }:
+		<-donec
+		return nil
+	case <-c.stop:
+		return ErrStopped
+	}
+}
+
+// Submit injects payload into the group's agreed stream. It is retransmitted
+// until the sequencer acknowledges it; duplicate submissions are suppressed
+// by the sequencer, so retries are safe. sentAt and led carry the caller's
+// virtual time and accumulated costs.
+func (c *GroupClient) Submit(payload []byte, sentAt vtime.Time, led vtime.Ledger) error {
+	return c.do(func() {
+		vt := c.proc.Execute(sentAt, c.cfg.Model.GCSend)
+		led.Charge(vtime.ComponentGC, c.cfg.Model.GCSend)
+		c.oseq++
+		f := &frame{
+			Kind:   kData,
+			Origin: c.Addr(),
+			OSeq:   c.oseq,
+			Level:  Agreed,
+			SentVT: vt,
+			Ledger: led,
+		}
+		f.Payload = append([]byte(nil), payload...)
+		c.pending[f.OSeq] = f
+		c.pendOrder = append(c.pendOrder, f.OSeq)
+		if len(c.members) > 0 {
+			_ = c.send.Send(c.members[0], encodeFrame(f), vt)
+		}
+	})
+}
+
+// Members returns the client's current membership hint.
+func (c *GroupClient) Members() []string {
+	var out []string
+	_ = c.do(func() { out = append([]string(nil), c.members...) })
+	return out
+}
+
+func (c *GroupClient) run() {
+	defer close(c.done)
+	ticker := time.NewTicker(c.cfg.ResendInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case fn := <-c.cmds:
+			fn()
+		case <-c.inNotify:
+			c.drainInbox()
+		case <-ticker.C:
+			c.tick()
+		}
+	}
+}
+
+func (c *GroupClient) drainInbox() {
+	for {
+		c.inMu.Lock()
+		if len(c.inbox) == 0 {
+			c.inMu.Unlock()
+			return
+		}
+		batch := c.inbox
+		c.inbox = nil
+		c.inMu.Unlock()
+		for _, msg := range batch {
+			c.handleMessage(msg)
+		}
+	}
+}
+
+func (c *GroupClient) handleMessage(msg transport.Message) {
+	f, err := decodeFrame(msg.Payload)
+	if err != nil {
+		return
+	}
+	switch f.Kind {
+	case kDirect:
+		c.handleDirect(msg, f)
+	case kDataAck:
+		delete(c.pending, f.OSeq)
+	case kViewHint:
+		if len(f.Members) > 0 {
+			c.members = append([]string(nil), f.Members...)
+		}
+	}
+}
+
+func (c *GroupClient) handleDirect(msg transport.Message, f *frame) {
+	ack := &frame{Kind: kDirectAck, Origin: c.Addr(), OSeq: f.OSeq}
+	_ = c.send.SendControl(f.Origin, encodeFrame(ack), 0)
+	if c.directDup(f.Origin, f.OSeq) {
+		return
+	}
+	led := f.Ledger
+	arrive := msg.ArriveAt
+	if msg.SentAt == f.SentVT && msg.ArriveAt >= msg.SentAt {
+		led.Charge(vtime.ComponentGC, msg.ArriveAt.Sub(msg.SentAt))
+	} else {
+		w := c.cfg.Model.Transmit(len(f.Payload) + 64)
+		arrive = f.SentVT.Add(w)
+		led.Charge(vtime.ComponentGC, w)
+	}
+	vt := c.proc.Execute(arrive, c.cfg.Model.GCSend)
+	led.Charge(vtime.ComponentGC, c.cfg.Model.GCSend)
+	c.emit(Event{
+		Kind:    EventDirect,
+		Sender:  f.Origin,
+		Payload: f.Payload,
+		VTime:   vt,
+		SentVT:  f.SentVT,
+		Ledger:  led,
+	})
+}
+
+func (c *GroupClient) directDup(peer string, oseq uint64) bool {
+	high := c.directHigh[peer]
+	if oseq <= high {
+		return true
+	}
+	sparse := c.directSparse[peer]
+	if sparse == nil {
+		sparse = make(map[uint64]bool)
+		c.directSparse[peer] = sparse
+	}
+	if sparse[oseq] {
+		return true
+	}
+	sparse[oseq] = true
+	for sparse[high+1] {
+		high++
+		delete(sparse, high)
+	}
+	c.directHigh[peer] = high
+	return false
+}
+
+func (c *GroupClient) tick() {
+	if len(c.members) == 0 {
+		return
+	}
+	// Rotate through hints across ticks so a dead coordinator hint does
+	// not wedge the client: retransmissions eventually reach a member
+	// that forwards to the live coordinator and corrects our hint.
+	for _, oseq := range c.pendOrder {
+		f, ok := c.pending[oseq]
+		if !ok {
+			continue
+		}
+		target := c.members[c.rotate%len(c.members)]
+		_ = c.send.SendControl(target, encodeFrame(f), f.SentVT)
+	}
+	c.rotate++
+	if len(c.pendOrder) > len(c.pending)*2 {
+		keep := c.pendOrder[:0]
+		for _, oseq := range c.pendOrder {
+			if _, ok := c.pending[oseq]; ok {
+				keep = append(keep, oseq)
+			}
+		}
+		c.pendOrder = keep
+	}
+}
+
+func (c *GroupClient) emit(e Event) {
+	c.outMu.Lock()
+	c.outq = append(c.outq, e)
+	c.outMu.Unlock()
+	select {
+	case c.outNotify <- struct{}{}:
+	default:
+	}
+}
+
+func (c *GroupClient) pumpOut() {
+	defer close(c.outDone)
+	defer close(c.out)
+	for {
+		c.outMu.Lock()
+		var e Event
+		have := len(c.outq) > 0
+		if have {
+			e = c.outq[0]
+			c.outq = c.outq[1:]
+		}
+		c.outMu.Unlock()
+		if !have {
+			select {
+			case <-c.outNotify:
+				continue
+			case <-c.stop:
+				return
+			}
+		}
+		select {
+		case c.out <- e:
+		case <-c.stop:
+			return
+		}
+	}
+}

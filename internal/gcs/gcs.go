@@ -1,0 +1,206 @@
+// Package gcs is versadep's group communication substrate — the stand-in
+// for the Spread toolkit the paper builds on (§3.1).
+//
+// It provides the API surface the replicator needs from Spread:
+//
+//   - group membership with join/leave and crash detection, delivered as
+//     view-change events;
+//   - reliable multicast with the four Spread service levels: best-effort,
+//     FIFO (by sender), causal, and agreed (total order);
+//   - virtual synchrony: view changes are totally ordered with respect to
+//     agreed messages, so every surviving member observes crashes at the
+//     same point in the message stream — the property the runtime
+//     replication-style switch protocol (§4.2, Figure 5) depends on;
+//   - open-group access: external clients that are not members can submit
+//     messages into the group's agreed stream and receive direct replies.
+//
+// Total order is implemented with a view-sequencer: the coordinator (the
+// lowest-ranked member of the current view) assigns global sequence numbers
+// and multicasts sequenced messages to the group. When the coordinator
+// crashes, the next-ranked member runs a flush-and-recover view change that
+// reconciles every survivor to the same prefix before installing the new
+// view.
+//
+// Liveness machinery (heartbeats, retransmission, view-change timeouts) is
+// paced in real time; message timing is accounted in virtual time via the
+// vtime cost model, with per-component charges accumulated in ledgers.
+package gcs
+
+import (
+	"errors"
+	"time"
+
+	"versadep/internal/vtime"
+)
+
+// ServiceLevel selects the delivery guarantee of a multicast, mirroring
+// Spread's service levels.
+type ServiceLevel uint8
+
+// Delivery guarantees, weakest to strongest.
+const (
+	// BestEffort delivers with no ordering or reliability guarantee.
+	BestEffort ServiceLevel = iota + 1
+	// FIFO delivers each sender's messages in the order they were sent.
+	FIFO
+	// Causal delivers messages respecting potential causality
+	// (vector-clock happened-before).
+	Causal
+	// Agreed delivers all messages in one total order, identical at every
+	// member, with view changes ordered consistently within the stream.
+	Agreed
+)
+
+// String returns the service level's name.
+func (s ServiceLevel) String() string {
+	switch s {
+	case BestEffort:
+		return "best-effort"
+	case FIFO:
+		return "fifo"
+	case Causal:
+		return "causal"
+	case Agreed:
+		return "agreed"
+	default:
+		return "unknown"
+	}
+}
+
+// View is an installed membership view. Members are sorted ascending; the
+// first member is the coordinator (and the sequencer for agreed traffic).
+type View struct {
+	ID      uint64
+	Members []string
+}
+
+// Coordinator returns the view's coordinator address, or "" for an empty
+// view.
+func (v View) Coordinator() string {
+	if len(v.Members) == 0 {
+		return ""
+	}
+	return v.Members[0]
+}
+
+// Contains reports whether addr is a member of the view.
+func (v View) Contains(addr string) bool {
+	for _, m := range v.Members {
+		if m == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// Rank returns addr's position in the sorted membership, or -1.
+func (v View) Rank(addr string) int {
+	for i, m := range v.Members {
+		if m == addr {
+			return i
+		}
+	}
+	return -1
+}
+
+// clone returns a deep copy (Members slices are shared with events
+// delivered to the application, so internal mutation must copy first).
+func (v View) clone() View {
+	out := View{ID: v.ID, Members: make([]string, len(v.Members))}
+	copy(out.Members, v.Members)
+	return out
+}
+
+// EventKind discriminates Event.
+type EventKind uint8
+
+// Event kinds.
+const (
+	// EventMessage is an application multicast delivery.
+	EventMessage EventKind = iota + 1
+	// EventView is a membership change.
+	EventView
+	// EventDirect is a reliable point-to-point delivery (replies from
+	// replicas to external clients use this path).
+	EventDirect
+)
+
+// Event is one delivery from the GCS to the application layer.
+type Event struct {
+	Kind EventKind
+	// Sender is the origin address (message and direct events).
+	Sender string
+	// Payload is the application bytes (message and direct events).
+	Payload []byte
+	// Level is the service level the message was sent with.
+	Level ServiceLevel
+	// Seq is the global sequence number (agreed messages and views).
+	Seq uint64
+	// View is the installed view (view events) or the view in which a
+	// message was delivered.
+	View View
+	// VTime is the virtual instant of delivery at this member.
+	VTime vtime.Time
+	// SentVT is the origin's virtual send instant, identical at every
+	// member (it travels in the frame). Deterministic distributed
+	// decisions — the paper's replicated-state adaptation — key off this
+	// rather than the member-local VTime.
+	SentVT vtime.Time
+	// Ledger carries the per-component virtual costs accumulated along
+	// the message's path, including this delivery.
+	Ledger vtime.Ledger
+	// Joined is set on the first view event after this member joined an
+	// existing group (as opposed to views it participated in changing):
+	// the member has no state from before this view and needs a state
+	// transfer from its peers.
+	Joined bool
+}
+
+// Config parameterizes a Member.
+type Config struct {
+	// Seeds are addresses of existing members to join through. Empty
+	// seeds bootstrap a new singleton group.
+	Seeds []string
+	// HBInterval is the heartbeat period (real time).
+	HBInterval time.Duration
+	// SuspectAfter is how long without a heartbeat before a member is
+	// suspected crashed (real time).
+	SuspectAfter time.Duration
+	// ResendInterval is the retransmission period for unacknowledged
+	// traffic (real time).
+	ResendInterval time.Duration
+	// PrepareTimeout bounds how long a view-change proposer waits for
+	// flush acknowledgements before re-proposing without the laggards.
+	PrepareTimeout time.Duration
+	// HistorySize is how many sequenced messages each member retains for
+	// retransmission and view-change recovery.
+	HistorySize int
+	// Model is the virtual-time cost model used for GC charges.
+	Model vtime.CostModel
+	// Seed seeds the member's deterministic jitter source.
+	Seed uint64
+}
+
+// DefaultConfig returns timing suitable for tests and the evaluation
+// harness: fast enough that crash recovery completes in well under a
+// second of real time.
+func DefaultConfig() Config {
+	return Config{
+		HBInterval:     15 * time.Millisecond,
+		SuspectAfter:   90 * time.Millisecond,
+		ResendInterval: 30 * time.Millisecond,
+		PrepareTimeout: 200 * time.Millisecond,
+		HistorySize:    8192,
+		Model:          vtime.DefaultCostModel(),
+		Seed:           1,
+	}
+}
+
+// Errors returned by the GCS.
+var (
+	// ErrStopped reports use of a stopped member.
+	ErrStopped = errors.New("gcs: member stopped")
+	// ErrNoView reports an operation requiring an installed view before
+	// the join completed.
+	ErrNoView = errors.New("gcs: no view installed")
+)

@@ -1,0 +1,444 @@
+package gcs
+
+import (
+	"sync"
+	"time"
+
+	"versadep/internal/transport"
+	"versadep/internal/vtime"
+)
+
+// Member is one process's group-communication daemon: the analogue of a
+// Spread daemon co-located with the application. All protocol state is
+// owned by a single run goroutine; the public API communicates with it
+// through a command channel.
+type Member struct {
+	conn  transport.Conn // ProtoGCS traffic to other members
+	xconn transport.Conn // ProtoGroupClient traffic to external clients
+	cfg   Config
+	rand  *vtime.Rand
+	proc  vtime.Server // the daemon's virtual CPU
+
+	// inbox absorbs transport messages from the demux goroutine.
+	inMu     sync.Mutex
+	inbox    []transport.Message
+	inNotify chan struct{}
+
+	cmds chan func()
+	stop chan struct{}
+	done chan struct{}
+
+	// out delivers events to the application through an elastic queue so
+	// protocol progress never blocks on a slow consumer.
+	outMu     sync.Mutex
+	outq      []Event
+	outNotify chan struct{}
+	out       chan Event
+	outDone   chan struct{}
+
+	// ---- state below is owned by the run goroutine ----
+
+	view      View
+	installed bool
+	joining   bool
+	seedIdx   int
+	lastView  *frame // last kView frame, re-sent to confused joiners
+
+	// Agreed: submission side.
+	localSeq  uint64
+	pending   map[uint64]*frame // my unsequenced submissions by OSeq
+	pendOrder []uint64
+
+	// Agreed: delivery side.
+	nextDeliver uint64
+	deliverVT   vtime.Time
+	holdback    map[uint64]*rxFrame
+	history     map[uint64]*frame // sequenced frames for retransmission
+	histLow     uint64
+	histHigh    uint64
+	seenData    map[string]uint64 // origin -> highest OSeq delivered
+
+	// Agreed: sequencer side (when coordinator). seqLocal is the
+	// sequencing watermark per origin: it runs ahead of seenData between
+	// assigning a sequence number and delivering the sequenced frame, and
+	// prevents double-sequencing of duplicate submissions in that window.
+	nextSeq  uint64
+	seqLocal map[string]uint64
+	dataHold map[string]map[uint64]*rxFrame // out-of-order submissions
+
+	// FIFO (reset per view).
+	fifoOut  uint64
+	fifoSent map[uint64]*frame
+	fifoExp  map[string]uint64
+	fifoHold map[string]map[uint64]*rxFrame
+
+	// Causal (reset per view).
+	vc         map[string]uint64
+	causalSent map[uint64]*frame
+	causalHold []*rxFrame
+
+	// Reliable direct unicast.
+	directOut    map[string]uint64
+	directUnack  map[string]map[uint64]*frame
+	directHigh   map[string]uint64
+	directSparse map[string]map[uint64]bool
+	dataAcked    map[uint64]bool // acks for my kData submissions (external use)
+
+	// Failure detection.
+	lastHeard map[string]time.Time
+	suspects  map[string]bool
+
+	// View change.
+	blocked      bool
+	ackHigh      uint64
+	highProposed uint64
+	proposal     *proposal
+	joinReqs     map[string]bool
+	leaveReqs    map[string]bool
+
+	now func() time.Time
+}
+
+// rxFrame is a received data frame with its receiver-side virtual timing.
+type rxFrame struct {
+	f   *frame
+	vt  vtime.Time
+	led vtime.Ledger
+}
+
+// proposal tracks an in-flight view change led by this member.
+type proposal struct {
+	viewID   uint64
+	members  []string
+	joiners  map[string]bool
+	ackFrom  map[string]*ackInfo
+	need     map[string]bool
+	deadline time.Time
+
+	// fetch phase
+	fetching   bool
+	fetchSeqs  map[uint64]string // seq -> member that has it
+	fetchWait  map[uint64]bool
+	fetchUntil time.Time
+	maxSeq     uint64
+}
+
+type ackInfo struct {
+	high uint64
+	held []uint64
+}
+
+// Open starts a member daemon. conn carries inter-member traffic and xconn
+// carries traffic to external group clients; both usually come from the
+// same transport.Demux. The caller must route inbound ProtoGCS messages to
+// HandleTransport. With no seeds the member bootstraps a singleton group;
+// otherwise it joins through the seeds.
+func Open(conn, xconn transport.Conn, cfg Config) *Member {
+	if cfg.HBInterval <= 0 {
+		cfg = DefaultConfig()
+	}
+	m := &Member{
+		conn:         conn,
+		xconn:        xconn,
+		cfg:          cfg,
+		rand:         vtime.NewRand(cfg.Seed),
+		inNotify:     make(chan struct{}, 1),
+		cmds:         make(chan func()),
+		stop:         make(chan struct{}),
+		done:         make(chan struct{}),
+		outNotify:    make(chan struct{}, 1),
+		out:          make(chan Event),
+		outDone:      make(chan struct{}),
+		pending:      make(map[uint64]*frame),
+		holdback:     make(map[uint64]*rxFrame),
+		history:      make(map[uint64]*frame),
+		seenData:     make(map[string]uint64),
+		seqLocal:     make(map[string]uint64),
+		dataHold:     make(map[string]map[uint64]*rxFrame),
+		fifoSent:     make(map[uint64]*frame),
+		fifoExp:      make(map[string]uint64),
+		fifoHold:     make(map[string]map[uint64]*rxFrame),
+		vc:           make(map[string]uint64),
+		causalSent:   make(map[uint64]*frame),
+		directOut:    make(map[string]uint64),
+		directUnack:  make(map[string]map[uint64]*frame),
+		directHigh:   make(map[string]uint64),
+		directSparse: make(map[string]map[uint64]bool),
+		dataAcked:    make(map[uint64]bool),
+		lastHeard:    make(map[string]time.Time),
+		suspects:     make(map[string]bool),
+		joinReqs:     make(map[string]bool),
+		leaveReqs:    make(map[string]bool),
+		now:          time.Now,
+	}
+	if len(cfg.Seeds) == 0 {
+		m.installBootstrapView()
+	} else {
+		m.joining = true
+	}
+	go m.run()
+	go m.pumpOut()
+	return m
+}
+
+// Addr returns the member's address.
+func (m *Member) Addr() string { return m.conn.Addr() }
+
+// Out returns the event stream: messages, view changes and direct
+// deliveries. The channel closes when the member stops.
+func (m *Member) Out() <-chan Event { return m.out }
+
+// HandleTransport ingests an inbound ProtoGCS transport message. It is safe
+// to call from any goroutine and never blocks.
+func (m *Member) HandleTransport(msg transport.Message) {
+	m.inMu.Lock()
+	m.inbox = append(m.inbox, msg)
+	m.inMu.Unlock()
+	select {
+	case m.inNotify <- struct{}{}:
+	default:
+	}
+}
+
+// Stop shuts the daemon down without leaving the group (a crash, from the
+// group's perspective). Stop is idempotent.
+func (m *Member) Stop() {
+	select {
+	case <-m.stop:
+		return
+	default:
+	}
+	close(m.stop)
+	<-m.done
+	<-m.outDone
+}
+
+// do runs fn on the protocol goroutine and waits for it.
+func (m *Member) do(fn func()) error {
+	donec := make(chan struct{})
+	select {
+	case m.cmds <- func() { fn(); close(donec) }:
+		<-donec
+		return nil
+	case <-m.stop:
+		return ErrStopped
+	}
+}
+
+// View returns the currently installed view.
+func (m *Member) View() (View, error) {
+	var v View
+	var ok bool
+	if err := m.do(func() { v, ok = m.view.clone(), m.installed }); err != nil {
+		return View{}, err
+	}
+	if !ok {
+		return View{}, ErrNoView
+	}
+	return v, nil
+}
+
+// Multicast sends payload to the group at the given service level. sentAt
+// is the caller's virtual time and led carries costs already charged by
+// upper layers. Agreed messages survive sequencer crashes (they are
+// retransmitted and resubmitted across view changes); FIFO and causal
+// messages are retransmitted within a view.
+func (m *Member) Multicast(payload []byte, lvl ServiceLevel, sentAt vtime.Time, led vtime.Ledger) error {
+	return m.do(func() { m.multicastLocked(payload, lvl, sentAt, led) })
+}
+
+// SendDirect reliably delivers payload to an external group client at the
+// given address. Delivery is at-least-once with receiver-side duplicate
+// suppression.
+func (m *Member) SendDirect(to string, payload []byte, sentAt vtime.Time, led vtime.Ledger) error {
+	return m.do(func() { m.sendDirectLocked(to, payload, sentAt, led) })
+}
+
+// Leave announces a graceful departure and stops the daemon.
+func (m *Member) Leave() {
+	_ = m.do(func() {
+		f := &frame{Kind: kLeave, Origin: m.Addr()}
+		if m.installed {
+			m.sendControl(m.view.Coordinator(), f)
+		}
+	})
+	// Give the leave a moment to reach the coordinator, then stop.
+	time.Sleep(2 * m.cfg.HBInterval)
+	m.Stop()
+}
+
+// ---- run loop ----
+
+func (m *Member) run() {
+	defer close(m.done)
+	ticker := time.NewTicker(m.cfg.HBInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.stop:
+			m.closeOut()
+			return
+		case fn := <-m.cmds:
+			fn()
+		case <-m.inNotify:
+			m.drainInbox()
+		case <-ticker.C:
+			m.tick()
+		}
+	}
+}
+
+func (m *Member) drainInbox() {
+	for {
+		m.inMu.Lock()
+		if len(m.inbox) == 0 {
+			m.inMu.Unlock()
+			return
+		}
+		batch := m.inbox
+		m.inbox = nil
+		m.inMu.Unlock()
+		for _, msg := range batch {
+			m.handleMessage(msg)
+		}
+	}
+}
+
+// ---- output queue ----
+
+func (m *Member) emit(e Event) {
+	m.outMu.Lock()
+	m.outq = append(m.outq, e)
+	m.outMu.Unlock()
+	select {
+	case m.outNotify <- struct{}{}:
+	default:
+	}
+}
+
+func (m *Member) closeOut() {
+	// Signalled via stop; pumpOut exits and closes out.
+}
+
+func (m *Member) pumpOut() {
+	defer close(m.outDone)
+	defer close(m.out)
+	for {
+		m.outMu.Lock()
+		var e Event
+		have := len(m.outq) > 0
+		if have {
+			e = m.outq[0]
+			m.outq = m.outq[1:]
+		}
+		m.outMu.Unlock()
+		if !have {
+			select {
+			case <-m.outNotify:
+				continue
+			case <-m.stop:
+				return
+			}
+		}
+		select {
+		case m.out <- e:
+		case <-m.stop:
+			return
+		}
+	}
+}
+
+// ---- sending helpers ----
+
+func (m *Member) sendControl(to string, f *frame) {
+	if to == "" || to == m.Addr() {
+		if to == m.Addr() {
+			m.handleFrame(transport.Message{From: to, To: to}, f)
+		}
+		return
+	}
+	_ = m.conn.SendControl(to, encodeFrame(f), f.SentVT)
+}
+
+func (m *Member) sendData(to string, f *frame) {
+	if to == m.Addr() {
+		m.handleFrame(transport.Message{From: to, To: to, SentAt: f.SentVT, ArriveAt: f.SentVT}, f)
+		return
+	}
+	_ = m.conn.Send(to, encodeFrame(f), f.SentVT)
+}
+
+// castData multicasts a data frame to all view members (including self via
+// loopback, which costs no wire time).
+func (m *Member) castData(f *frame) {
+	self := m.castDataOthers(f)
+	if self {
+		m.handleFrame(transport.Message{From: m.Addr(), To: m.Addr(), SentAt: f.SentVT, ArriveAt: f.SentVT}, f)
+	}
+}
+
+// castDataOthers multicasts to every view member except self, reporting
+// whether self is a member.
+func (m *Member) castDataOthers(f *frame) bool {
+	others := make([]string, 0, len(m.view.Members))
+	self := false
+	for _, mm := range m.view.Members {
+		if mm == m.Addr() {
+			self = true
+			continue
+		}
+		others = append(others, mm)
+	}
+	if len(others) > 0 {
+		_ = m.conn.SendMulticast(others, encodeFrame(f), f.SentVT)
+	}
+	return self
+}
+
+// sendExternal routes a frame to an external (non-member) address.
+func (m *Member) sendExternal(to string, f *frame, control bool) {
+	if control {
+		_ = m.xconn.SendControl(to, encodeFrame(f), f.SentVT)
+		return
+	}
+	_ = m.xconn.Send(to, encodeFrame(f), f.SentVT)
+}
+
+func (m *Member) isExternal(addr string) bool {
+	return !m.view.Contains(addr) && addr != m.Addr()
+}
+
+// ---- bootstrap & view installation ----
+
+func (m *Member) installBootstrapView() {
+	m.view = View{ID: 1, Members: []string{m.Addr()}}
+	m.installed = true
+	m.nextDeliver = 1
+	m.nextSeq = 1
+	m.lastView = &frame{Kind: kView, ViewID: 1, Seq: 0, Members: []string{m.Addr()}}
+	m.resetPerViewState()
+	m.emit(Event{Kind: EventView, View: m.view.clone(), Seq: 0, VTime: m.deliverVT})
+}
+
+func (m *Member) resetPerViewState() {
+	m.fifoOut = 0
+	m.fifoSent = make(map[uint64]*frame)
+	m.fifoExp = make(map[string]uint64)
+	m.fifoHold = make(map[string]map[uint64]*rxFrame)
+	m.vc = make(map[string]uint64)
+	for _, mm := range m.view.Members {
+		m.vc[mm] = 0
+	}
+	m.causalSent = make(map[uint64]*frame)
+	m.causalHold = nil
+	nowT := m.now()
+	m.lastHeard = make(map[string]time.Time)
+	for _, mm := range m.view.Members {
+		m.lastHeard[mm] = nowT
+	}
+	for s := range m.suspects {
+		if !m.view.Contains(s) {
+			delete(m.suspects, s)
+		}
+	}
+}

@@ -1,0 +1,864 @@
+package gcs
+
+import (
+	"sort"
+
+	"versadep/internal/transport"
+	"versadep/internal/vtime"
+)
+
+// ---- submission paths ----
+
+func (m *Member) multicastLocked(payload []byte, lvl ServiceLevel, sentAt vtime.Time, led vtime.Ledger) {
+	// The daemon charges its per-crossing cost on the sending side
+	// (jittered: daemon scheduling noise is a real contributor to the
+	// paper's error bars).
+	cost := m.cfg.Model.Jitter(m.cfg.Model.GCSend, m.rand.Float64())
+	vt := m.proc.Execute(sentAt, cost)
+	led.Charge(vtime.ComponentGC, cost)
+
+	switch lvl {
+	case Agreed:
+		m.localSeq++
+		f := &frame{
+			Kind:   kData,
+			Origin: m.Addr(),
+			OSeq:   m.localSeq,
+			Level:  Agreed,
+			SentVT: vt,
+			Ledger: led,
+		}
+		f.Payload = append([]byte(nil), payload...)
+		m.pending[f.OSeq] = f
+		m.pendOrder = append(m.pendOrder, f.OSeq)
+		if m.installed && !m.blocked {
+			m.sendData(m.currentSequencer(), f)
+		}
+	case FIFO:
+		m.fifoOut++
+		f := &frame{
+			Kind:   kFifo,
+			ViewID: m.view.ID,
+			Origin: m.Addr(),
+			OSeq:   m.fifoOut,
+			Level:  FIFO,
+			SentVT: vt,
+			Ledger: led,
+		}
+		f.Payload = append([]byte(nil), payload...)
+		m.fifoSent[f.OSeq] = f
+		m.castData(f)
+	case Causal:
+		m.vc[m.Addr()]++
+		f := &frame{
+			Kind:   kCausal,
+			ViewID: m.view.ID,
+			Origin: m.Addr(),
+			OSeq:   m.vc[m.Addr()],
+			Level:  Causal,
+			SentVT: vt,
+			Ledger: led,
+			Seqs:   m.vcSnapshot(),
+		}
+		f.Payload = append([]byte(nil), payload...)
+		m.causalSent[f.OSeq] = f
+		// The sender's own vector entry already advanced, so the message
+		// is delivered locally at once and multicast to the others only
+		// (running it through the receive path would double-count).
+		m.castDataOthers(f)
+		dvt := vt.Max(m.deliverVT)
+		m.deliverVT = dvt
+		m.emit(Event{
+			Kind:    EventMessage,
+			Sender:  m.Addr(),
+			Payload: f.Payload,
+			Level:   Causal,
+			View:    m.view.clone(),
+			VTime:   dvt,
+			SentVT:  vt,
+			Ledger:  led,
+		})
+	default: // BestEffort
+		f := &frame{
+			Kind:   kBE,
+			ViewID: m.view.ID,
+			Origin: m.Addr(),
+			Level:  BestEffort,
+			SentVT: vt,
+			Ledger: led,
+		}
+		f.Payload = append([]byte(nil), payload...)
+		m.castData(f)
+	}
+}
+
+// vcSnapshot serializes the vector clock aligned with view membership
+// order.
+func (m *Member) vcSnapshot() []uint64 {
+	out := make([]uint64, len(m.view.Members))
+	for i, mm := range m.view.Members {
+		out[i] = m.vc[mm]
+	}
+	return out
+}
+
+func (m *Member) sendDirectLocked(to string, payload []byte, sentAt vtime.Time, led vtime.Ledger) {
+	cost := m.cfg.Model.Jitter(m.cfg.Model.GCSend, m.rand.Float64())
+	vt := m.proc.Execute(sentAt, cost)
+	led.Charge(vtime.ComponentGC, cost)
+	m.directOut[to]++
+	f := &frame{
+		Kind:   kDirect,
+		Origin: m.Addr(),
+		OSeq:   m.directOut[to],
+		SentVT: vt,
+		Ledger: led,
+	}
+	f.Payload = append([]byte(nil), payload...)
+	if m.directUnack[to] == nil {
+		m.directUnack[to] = make(map[uint64]*frame)
+	}
+	m.directUnack[to][f.OSeq] = f
+	m.sendExternal(to, f, false)
+}
+
+// currentSequencer is the coordinator of the installed view, or the highest
+// proposer while blocked.
+func (m *Member) currentSequencer() string {
+	return m.view.Coordinator()
+}
+
+// ---- inbound dispatch ----
+
+func (m *Member) handleMessage(msg transport.Message) {
+	f, err := decodeFrame(msg.Payload)
+	if err != nil {
+		return // corrupt frame: drop, retransmission recovers
+	}
+	m.handleFrame(msg, f)
+}
+
+func (m *Member) handleFrame(msg transport.Message, f *frame) {
+	if msg.From != "" {
+		m.lastHeard[msg.From] = m.now()
+	}
+	switch f.Kind {
+	case kHB:
+		m.handleHeartbeat(msg.From, f)
+	case kJoin:
+		m.handleJoin(f)
+	case kLeave:
+		if m.installed && m.isCoordinatorDuty() {
+			m.leaveReqs[f.Origin] = true
+			m.maybePropose()
+		}
+	case kData:
+		m.handleData(msg, f)
+	case kDataAck:
+		m.handleDataAck(f)
+	case kSeq, kView:
+		m.handleSequenced(msg, f)
+	case kNack:
+		m.handleNack(msg.From, f)
+	case kFifo:
+		m.handleFifo(msg, f)
+	case kFifoNack:
+		m.handleFifoNack(msg.From, f)
+	case kCausal:
+		m.handleCausal(msg, f)
+	case kBE:
+		m.handleBestEffort(msg, f)
+	case kPrepare:
+		m.handlePrepare(msg.From, f)
+	case kPrepareAck:
+		m.handlePrepareAck(msg.From, f)
+	case kFetch:
+		m.handleFetch(msg.From, f)
+	case kFetchResp:
+		m.handleFetchResp(f)
+	case kDirect:
+		m.handleDirect(msg, f)
+	case kDirectAck:
+		m.handleDirectAck(msg.From, f)
+	}
+}
+
+// rx computes receiver-side timing and ledger for a data frame.
+func (m *Member) rx(msg transport.Message, f *frame, extra vtime.Duration) *rxFrame {
+	led := f.Ledger
+	arrive := msg.ArriveAt
+	if msg.SentAt == f.SentVT && msg.ArriveAt >= msg.SentAt {
+		led.Charge(vtime.ComponentGC, msg.ArriveAt.Sub(msg.SentAt))
+	} else {
+		// Retransmission or locally re-injected frame: charge a nominal
+		// wire time from the original virtual send instant.
+		w := m.cfg.Model.Transmit(len(f.Payload) + 64)
+		arrive = f.SentVT.Add(w)
+		led.Charge(vtime.ComponentGC, w)
+	}
+	cost := m.cfg.Model.Jitter(m.cfg.Model.GCSend, m.rand.Float64()) + extra
+	vt := m.proc.Execute(arrive, cost)
+	led.Charge(vtime.ComponentGC, cost)
+	return &rxFrame{f: f, vt: vt, led: led}
+}
+
+// ---- join handling ----
+
+func (m *Member) handleJoin(f *frame) {
+	if !m.installed {
+		return
+	}
+	if m.view.Contains(f.Origin) {
+		// The joiner is already in the view but apparently missed the
+		// installation; re-send it.
+		if m.lastView != nil {
+			m.sendControl(f.Origin, m.lastView)
+		}
+		return
+	}
+	if !m.isCoordinatorDuty() {
+		m.sendControl(m.view.Coordinator(), f)
+		return
+	}
+	m.joinReqs[f.Origin] = true
+	m.maybePropose()
+}
+
+// isCoordinatorDuty reports whether this member should act as coordinator:
+// it is the lowest-ranked member it does not suspect.
+func (m *Member) isCoordinatorDuty() bool {
+	if !m.installed {
+		return false
+	}
+	for _, mm := range m.view.Members {
+		if mm == m.Addr() {
+			return true
+		}
+		if !m.suspects[mm] {
+			return false
+		}
+	}
+	return false
+}
+
+// ---- agreed path: sequencer ----
+
+func (m *Member) handleData(msg transport.Message, f *frame) {
+	if !m.installed {
+		return
+	}
+	if !m.isCoordinatorDuty() {
+		// Misdirected submission (stale coordinator hint): forward, and
+		// if it came from an external client, teach it the membership.
+		m.sendControl(m.view.Coordinator(), f)
+		if m.isExternal(f.Origin) {
+			hint := &frame{Kind: kViewHint, ViewID: m.view.ID, Members: m.view.Members}
+			m.sendExternal(f.Origin, hint, true)
+		}
+		return
+	}
+	if f.OSeq <= m.effectiveSeen(f.Origin) {
+		// Duplicate: re-ack so external origins stop resending.
+		m.ackData(f)
+		return
+	}
+	hold := m.dataHold[f.Origin]
+	if hold == nil {
+		hold = make(map[uint64]*rxFrame)
+		m.dataHold[f.Origin] = hold
+	}
+	if _, dup := hold[f.OSeq]; !dup {
+		hold[f.OSeq] = m.rx(msg, f, 0)
+	}
+	m.sequenceReady(f.Origin)
+}
+
+// effectiveSeen is the sequencer's dedup watermark for an origin: the later
+// of what it has delivered and what it has already assigned.
+func (m *Member) effectiveSeen(origin string) uint64 {
+	seen := m.seenData[origin]
+	if l := m.seqLocal[origin]; l > seen {
+		seen = l
+	}
+	return seen
+}
+
+// sequenceReady assigns sequence numbers to contiguous held submissions
+// from origin.
+func (m *Member) sequenceReady(origin string) {
+	if m.blocked || !m.installed {
+		return
+	}
+	hold := m.dataHold[origin]
+	// Drop stale buffered submissions that were sequenced meanwhile.
+	for oseq := range hold {
+		if oseq <= m.effectiveSeen(origin) {
+			delete(hold, oseq)
+		}
+	}
+	for {
+		next := m.effectiveSeen(origin) + 1
+		rf, ok := hold[next]
+		if !ok {
+			return
+		}
+		delete(hold, next)
+		f := rf.f
+		// The sequencer charges its ordering cost on its virtual CPU.
+		vt := m.proc.Execute(rf.vt, m.cfg.Model.GCOrder)
+		led := rf.led
+		led.Charge(vtime.ComponentGC, m.cfg.Model.GCOrder)
+		sf := &frame{
+			Kind:    kSeq,
+			ViewID:  m.view.ID,
+			Seq:     m.nextSeq,
+			Origin:  f.Origin,
+			OSeq:    f.OSeq,
+			Level:   Agreed,
+			SentVT:  vt,
+			Ledger:  led,
+			Payload: f.Payload,
+		}
+		m.nextSeq++
+		m.seqLocal[f.Origin] = f.OSeq
+		m.ackData(f)
+		m.castData(sf)
+	}
+}
+
+// ackData notifies an origin that its submission has been sequenced.
+// Members learn implicitly (they receive the kSeq); external clients need
+// the explicit control ack.
+func (m *Member) ackData(f *frame) {
+	if m.isExternal(f.Origin) {
+		ack := &frame{Kind: kDataAck, Origin: m.Addr(), OSeq: f.OSeq}
+		m.sendExternal(f.Origin, ack, true)
+	}
+}
+
+func (m *Member) handleDataAck(f *frame) {
+	// Members clear pending on kSeq delivery, not acks; this path serves
+	// the GroupClient implementation which shares frame handling.
+	m.dataAcked[f.OSeq] = true
+}
+
+// ---- agreed path: delivery ----
+
+func (m *Member) handleSequenced(msg transport.Message, f *frame) {
+	if f.Kind == kView {
+		m.handleViewFrame(msg, f)
+		return
+	}
+	if !m.installed {
+		return
+	}
+	if f.Seq < m.nextDeliver {
+		return // duplicate
+	}
+	if _, dup := m.holdback[f.Seq]; dup {
+		return
+	}
+	m.holdback[f.Seq] = m.rx(msg, f, 0)
+	m.drainHoldback()
+}
+
+// drainHoldback delivers contiguous sequenced frames, including view
+// installations embedded in the stream.
+func (m *Member) drainHoldback() {
+	if m.blocked {
+		// Flush in progress: ordinary delivery pauses so every survivor
+		// freezes at its acknowledged snapshot (virtual synchrony). The
+		// only progress allowed is toward a held view installation, fed
+		// by the proposer's retransmissions.
+		m.tryInstallHeldView()
+		return
+	}
+	for {
+		rf, ok := m.holdback[m.nextDeliver]
+		if !ok {
+			m.maybeNack()
+			return
+		}
+		delete(m.holdback, m.nextDeliver)
+		// Advance the watermark before delivering: delivery can reenter
+		// (a view installation sequences resubmitted traffic), and the
+		// reentrant path must see a consistent frontier.
+		m.nextDeliver++
+		m.deliverSequenced(rf)
+	}
+}
+
+func (m *Member) deliverSequenced(rf *rxFrame) {
+	f := rf.f
+	m.recordHistory(f)
+	if f.Kind == kView {
+		m.installView(f)
+		return
+	}
+	if f.Origin == "" {
+		return // recovery no-op filler
+	}
+	if f.OSeq > m.seenData[f.Origin] {
+		m.seenData[f.Origin] = f.OSeq
+	}
+	if f.Origin == m.Addr() {
+		delete(m.pending, f.OSeq)
+	}
+	vt := rf.vt.Max(m.deliverVT)
+	m.deliverVT = vt
+	m.emit(Event{
+		Kind:    EventMessage,
+		Sender:  f.Origin,
+		Payload: f.Payload,
+		Level:   Agreed,
+		Seq:     f.Seq,
+		View:    m.view.clone(),
+		VTime:   vt,
+		SentVT:  f.SentVT,
+		Ledger:  rf.led,
+	})
+}
+
+func (m *Member) recordHistory(f *frame) {
+	m.history[f.Seq] = f
+	if f.Seq > m.histHigh {
+		m.histHigh = f.Seq
+	}
+	if m.histLow == 0 {
+		m.histLow = f.Seq
+	}
+	for int(m.histHigh-m.histLow) >= m.cfg.HistorySize {
+		delete(m.history, m.histLow)
+		m.histLow++
+	}
+}
+
+// maybeNack requests retransmission of the gap below the lowest held frame.
+func (m *Member) maybeNack() {
+	if len(m.holdback) == 0 || m.blocked {
+		return
+	}
+	low := uint64(0)
+	for s := range m.holdback {
+		if low == 0 || s < low {
+			low = s
+		}
+	}
+	if low <= m.nextDeliver {
+		return
+	}
+	missing := make([]uint64, 0, 32)
+	for s := m.nextDeliver; s < low && len(missing) < 64; s++ {
+		missing = append(missing, s)
+	}
+	nack := &frame{Kind: kNack, Origin: m.Addr(), Seqs: missing}
+	m.sendControl(m.view.Coordinator(), nack)
+}
+
+func (m *Member) handleNack(from string, f *frame) {
+	for _, s := range f.Seqs {
+		if hf, ok := m.history[s]; ok {
+			m.sendControl(from, hf)
+		} else if rf, ok := m.holdback[s]; ok {
+			m.sendControl(from, rf.f)
+		}
+	}
+}
+
+// ---- FIFO path ----
+
+func (m *Member) handleFifo(msg transport.Message, f *frame) {
+	if !m.installed || f.ViewID != m.view.ID {
+		return
+	}
+	exp := m.fifoExp[f.Origin] + 1
+	if f.OSeq < exp {
+		return // duplicate
+	}
+	hold := m.fifoHold[f.Origin]
+	if hold == nil {
+		hold = make(map[uint64]*rxFrame)
+		m.fifoHold[f.Origin] = hold
+	}
+	if _, dup := hold[f.OSeq]; !dup {
+		hold[f.OSeq] = m.rx(msg, f, 0)
+	}
+	for {
+		exp = m.fifoExp[f.Origin] + 1
+		rf, ok := hold[exp]
+		if !ok {
+			break
+		}
+		delete(hold, exp)
+		m.fifoExp[f.Origin] = exp
+		vt := rf.vt.Max(m.deliverVT)
+		m.deliverVT = vt
+		m.emit(Event{
+			Kind:    EventMessage,
+			Sender:  rf.f.Origin,
+			Payload: rf.f.Payload,
+			Level:   FIFO,
+			View:    m.view.clone(),
+			VTime:   vt,
+			SentVT:  rf.f.SentVT,
+			Ledger:  rf.led,
+		})
+	}
+	m.nackFifoGap(f.Origin)
+}
+
+func (m *Member) nackFifoGap(origin string) {
+	hold := m.fifoHold[origin]
+	if len(hold) == 0 || origin == m.Addr() {
+		return
+	}
+	low := uint64(0)
+	for s := range hold {
+		if low == 0 || s < low {
+			low = s
+		}
+	}
+	exp := m.fifoExp[origin] + 1
+	if low <= exp {
+		return
+	}
+	missing := make([]uint64, 0, 32)
+	for s := exp; s < low && len(missing) < 64; s++ {
+		missing = append(missing, s)
+	}
+	m.sendControl(origin, &frame{Kind: kFifoNack, Origin: m.Addr(), Seqs: missing})
+}
+
+func (m *Member) handleFifoNack(from string, f *frame) {
+	sent := m.fifoSent
+	if f.Level == Causal {
+		sent = m.causalSent
+	}
+	for _, s := range f.Seqs {
+		if sf, ok := sent[s]; ok {
+			m.sendControl(from, sf)
+		}
+	}
+}
+
+// handleHeartbeat detects tail losses: heartbeats carry the sender's FIFO
+// and causal frontiers so a receiver notices a dropped final message even
+// when no later message reveals the gap.
+func (m *Member) handleHeartbeat(from string, f *frame) {
+	if !m.installed || f.ViewID != m.view.ID || from == m.Addr() {
+		return
+	}
+	// Agreed tail gap: the peer has delivered beyond our frontier.
+	if f.Seq >= m.nextDeliver && !m.blocked {
+		missing := make([]uint64, 0, 16)
+		for s := m.nextDeliver; s <= f.Seq && len(missing) < 64; s++ {
+			if _, held := m.holdback[s]; !held {
+				missing = append(missing, s)
+			}
+		}
+		if len(missing) > 0 {
+			m.sendControl(m.view.Coordinator(), &frame{Kind: kNack, Origin: m.Addr(), Seqs: missing})
+		}
+	}
+	// FIFO tail gap.
+	if f.OSeq > m.fifoExp[from] {
+		hold := m.fifoHold[from]
+		missing := make([]uint64, 0, 16)
+		for s := m.fifoExp[from] + 1; s <= f.OSeq && len(missing) < 64; s++ {
+			if hold != nil {
+				if _, ok := hold[s]; ok {
+					continue
+				}
+			}
+			missing = append(missing, s)
+		}
+		if len(missing) > 0 {
+			m.sendControl(from, &frame{Kind: kFifoNack, Origin: m.Addr(), Seqs: missing})
+		}
+	}
+	// Causal tail gap: the sender's own vector entry tells us how many of
+	// its causal messages exist.
+	rank := m.view.Rank(from)
+	if rank >= 0 && rank < len(f.Seqs) && f.Seqs[rank] > m.vc[from] {
+		missing := make([]uint64, 0, 16)
+	causalScan:
+		for s := m.vc[from] + 1; s <= f.Seqs[rank] && len(missing) < 64; s++ {
+			for _, rf := range m.causalHold {
+				if rf.f.Origin == from && rf.f.OSeq == s {
+					continue causalScan
+				}
+			}
+			missing = append(missing, s)
+		}
+		if len(missing) > 0 {
+			m.sendControl(from, &frame{Kind: kFifoNack, Origin: m.Addr(), Seqs: missing, Level: Causal})
+		}
+	}
+}
+
+// ---- causal path ----
+
+func (m *Member) handleCausal(msg transport.Message, f *frame) {
+	if !m.installed || f.ViewID != m.view.ID {
+		return
+	}
+	if f.OSeq <= m.vc[f.Origin] {
+		return // duplicate
+	}
+	for _, held := range m.causalHold {
+		if held.f.Origin == f.Origin && held.f.OSeq == f.OSeq {
+			return
+		}
+	}
+	m.causalHold = append(m.causalHold, m.rx(msg, f, 0))
+	m.drainCausal()
+}
+
+// causallyReady reports whether f's vector clock is satisfied locally.
+func (m *Member) causallyReady(f *frame) bool {
+	if len(f.Seqs) != len(m.view.Members) {
+		return false
+	}
+	for i, mm := range m.view.Members {
+		want := f.Seqs[i]
+		if mm == f.Origin {
+			if m.vc[mm]+1 != want {
+				return false
+			}
+			continue
+		}
+		if m.vc[mm] < want {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *Member) drainCausal() {
+	for {
+		progressed := false
+		for i, rf := range m.causalHold {
+			if !m.causallyReady(rf.f) {
+				continue
+			}
+			m.causalHold = append(m.causalHold[:i], m.causalHold[i+1:]...)
+			m.vc[rf.f.Origin] = rf.f.OSeq
+			vt := rf.vt.Max(m.deliverVT)
+			m.deliverVT = vt
+			m.emit(Event{
+				Kind:    EventMessage,
+				Sender:  rf.f.Origin,
+				Payload: rf.f.Payload,
+				Level:   Causal,
+				View:    m.view.clone(),
+				VTime:   vt,
+				SentVT:  rf.f.SentVT,
+				Ledger:  rf.led,
+			})
+			progressed = true
+			break
+		}
+		if !progressed {
+			return
+		}
+	}
+}
+
+// nackCausalGaps periodically requests missing causal predecessors.
+func (m *Member) nackCausalGaps() {
+	if len(m.causalHold) == 0 {
+		return
+	}
+	// For every held frame, ask each origin for the slots we lack.
+	needed := make(map[string]map[uint64]bool)
+	for _, rf := range m.causalHold {
+		for i, mm := range m.view.Members {
+			if mm == m.Addr() || i >= len(rf.f.Seqs) {
+				continue
+			}
+			want := rf.f.Seqs[i]
+			for s := m.vc[mm] + 1; s <= want && s <= m.vc[mm]+32; s++ {
+				if needed[mm] == nil {
+					needed[mm] = make(map[uint64]bool)
+				}
+				needed[mm][s] = true
+			}
+		}
+	}
+	for origin, set := range needed {
+		seqs := make([]uint64, 0, len(set))
+		for s := range set {
+			seqs = append(seqs, s)
+		}
+		sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+		m.sendControl(origin, &frame{Kind: kFifoNack, Origin: m.Addr(), Seqs: seqs, Level: Causal})
+	}
+}
+
+// ---- best effort ----
+
+func (m *Member) handleBestEffort(msg transport.Message, f *frame) {
+	if !m.installed || f.ViewID != m.view.ID {
+		return
+	}
+	rf := m.rx(msg, f, 0)
+	vt := rf.vt.Max(m.deliverVT)
+	m.deliverVT = vt
+	m.emit(Event{
+		Kind:    EventMessage,
+		Sender:  f.Origin,
+		Payload: f.Payload,
+		Level:   BestEffort,
+		View:    m.view.clone(),
+		VTime:   vt,
+		SentVT:  f.SentVT,
+		Ledger:  rf.led,
+	})
+}
+
+// ---- reliable direct unicast (to external clients) ----
+
+func (m *Member) handleDirect(msg transport.Message, f *frame) {
+	// Acknowledge regardless of duplication.
+	ack := &frame{Kind: kDirectAck, Origin: m.Addr(), OSeq: f.OSeq}
+	m.sendControl(f.Origin, ack)
+	if m.directDup(f.Origin, f.OSeq) {
+		return
+	}
+	rf := m.rx(msg, f, 0)
+	vt := rf.vt.Max(m.deliverVT)
+	m.deliverVT = vt
+	m.emit(Event{
+		Kind:    EventDirect,
+		Sender:  f.Origin,
+		Payload: f.Payload,
+		VTime:   vt,
+		SentVT:  f.SentVT,
+		Ledger:  rf.led,
+	})
+}
+
+// directDup records and reports duplicate suppression state for a peer's
+// direct sequence number.
+func (m *Member) directDup(peer string, oseq uint64) bool {
+	high := m.directHigh[peer]
+	if oseq <= high {
+		return true
+	}
+	sparse := m.directSparse[peer]
+	if sparse == nil {
+		sparse = make(map[uint64]bool)
+		m.directSparse[peer] = sparse
+	}
+	if sparse[oseq] {
+		return true
+	}
+	sparse[oseq] = true
+	// Compact the contiguous prefix into the watermark.
+	for sparse[high+1] {
+		high++
+		delete(sparse, high)
+	}
+	m.directHigh[peer] = high
+	return false
+}
+
+func (m *Member) handleDirectAck(from string, f *frame) {
+	if un := m.directUnack[from]; un != nil {
+		delete(un, f.OSeq)
+	}
+}
+
+// ---- periodic work ----
+
+func (m *Member) tick() {
+	nowT := m.now()
+	if m.joining && !m.installed {
+		if len(m.cfg.Seeds) > 0 {
+			seed := m.cfg.Seeds[m.seedIdx%len(m.cfg.Seeds)]
+			m.seedIdx++
+			m.sendControl(seed, &frame{Kind: kJoin, Origin: m.Addr()})
+		}
+		return
+	}
+	if !m.installed {
+		return
+	}
+
+	// Heartbeats, carrying the agreed, FIFO and causal frontiers for
+	// tail-loss detection: a receiver that missed the last messages of a
+	// burst (or a healed partition) has no later message to reveal the
+	// gap, so the frontier advertisement is what triggers recovery.
+	hb := &frame{
+		Kind:   kHB,
+		ViewID: m.view.ID,
+		Origin: m.Addr(),
+		Seq:    m.nextDeliver - 1,
+		OSeq:   m.fifoOut,
+		Seqs:   m.vcSnapshot(),
+	}
+	for _, mm := range m.view.Members {
+		if mm != m.Addr() {
+			m.sendControl(mm, hb)
+		}
+	}
+
+	// Failure detection.
+	changed := false
+	for _, mm := range m.view.Members {
+		if mm == m.Addr() || m.suspects[mm] {
+			continue
+		}
+		if nowT.Sub(m.lastHeard[mm]) > m.cfg.SuspectAfter {
+			m.suspects[mm] = true
+			changed = true
+		}
+	}
+	if changed || len(m.joinReqs) > 0 || len(m.leaveReqs) > 0 {
+		m.maybePropose()
+	}
+
+	// Resend unsequenced submissions to the sequencer.
+	if !m.blocked {
+		for _, oseq := range m.pendOrder {
+			if f, ok := m.pending[oseq]; ok {
+				m.sendControl(m.currentSequencer(), f)
+			}
+		}
+		m.compactPendOrder()
+	}
+
+	// Resend unacked direct traffic.
+	for to, un := range m.directUnack {
+		for _, f := range un {
+			m.sendExternal(to, f, true)
+		}
+	}
+
+	// Re-nack outstanding gaps. While blocked, the only useful progress
+	// is toward a held view installation.
+	if m.blocked {
+		m.tryInstallHeldView()
+	}
+	m.maybeNack()
+	for origin := range m.fifoHold {
+		m.nackFifoGap(origin)
+	}
+	m.nackCausalGaps()
+
+	// Drive an in-flight proposal.
+	m.advanceProposal(nowT)
+}
+
+func (m *Member) compactPendOrder() {
+	if len(m.pendOrder) == 0 || len(m.pending) == len(m.pendOrder) {
+		return
+	}
+	keep := m.pendOrder[:0]
+	for _, oseq := range m.pendOrder {
+		if _, ok := m.pending[oseq]; ok {
+			keep = append(keep, oseq)
+		}
+	}
+	m.pendOrder = keep
+}

@@ -1,0 +1,544 @@
+package gcs
+
+import (
+	"sort"
+	"time"
+
+	"versadep/internal/transport"
+)
+
+// This file implements the membership/view-change protocol. The proposer is
+// always the lowest-ranked member that is not suspected; in the common case
+// (join, leave, backup crash) that is the current coordinator/sequencer
+// itself, so no sequence numbers can be assigned concurrently with the
+// flush. When the coordinator crashes, the next-ranked survivor proposes,
+// reconciles every survivor to the same sequenced prefix (fetching frames
+// it lacks), fills unrecoverable gaps with no-op fillers, and installs the
+// new view as a sequenced kView frame — giving the total order of view
+// changes relative to agreed messages that the paper's switch protocol
+// requires (§4.2).
+
+// maybePropose starts a view change if this member has coordinator duty and
+// there is membership work to do.
+func (m *Member) maybePropose() {
+	if !m.installed || m.proposal != nil || !m.isCoordinatorDuty() {
+		return
+	}
+	newMembers := m.computeNewMembers()
+	if sameMembers(newMembers, m.view.Members) {
+		m.joinReqs = make(map[string]bool)
+		m.leaveReqs = make(map[string]bool)
+		return
+	}
+	if !contains(newMembers, m.Addr()) {
+		return // we are leaving; someone else will handle it
+	}
+	viewID := m.view.ID
+	if m.highProposed > viewID {
+		viewID = m.highProposed
+	}
+	viewID++
+	m.highProposed = viewID
+
+	joiners := make(map[string]bool)
+	need := make(map[string]bool)
+	for _, mm := range newMembers {
+		if m.view.Contains(mm) {
+			need[mm] = true
+		} else {
+			joiners[mm] = true
+		}
+	}
+	p := &proposal{
+		viewID:    viewID,
+		members:   newMembers,
+		joiners:   joiners,
+		ackFrom:   make(map[string]*ackInfo),
+		need:      need,
+		deadline:  m.now().Add(m.cfg.PrepareTimeout),
+		fetchSeqs: make(map[uint64]string),
+		fetchWait: make(map[uint64]bool),
+	}
+	m.proposal = p
+
+	prep := &frame{Kind: kPrepare, ViewID: viewID, Origin: m.Addr(), Members: newMembers}
+	// Send to every old-view survivor (they must flush) — including
+	// ourselves, which blocks us and records our own ack.
+	for _, mm := range m.view.Members {
+		if m.suspects[mm] {
+			continue
+		}
+		if mm == m.Addr() {
+			m.handleFrame(transport.Message{From: mm, To: mm}, prep)
+		} else {
+			m.sendControl(mm, prep)
+		}
+	}
+	m.checkProposalReady()
+}
+
+func (m *Member) computeNewMembers() []string {
+	set := make(map[string]bool)
+	for _, mm := range m.view.Members {
+		if m.suspects[mm] || m.leaveReqs[mm] {
+			continue
+		}
+		set[mm] = true
+	}
+	for j := range m.joinReqs {
+		if !m.leaveReqs[j] {
+			set[j] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for mm := range set {
+		out = append(out, mm)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sameMembers(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func contains(s []string, v string) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// handlePrepare blocks delivery and acknowledges with the member's agreed
+// snapshot: the highest contiguously delivered sequence and the sequences
+// it holds beyond it.
+func (m *Member) handlePrepare(from string, f *frame) {
+	if !m.installed || f.ViewID <= m.view.ID {
+		return
+	}
+	if f.ViewID > m.highProposed {
+		m.highProposed = f.ViewID
+	}
+	if !m.blocked {
+		m.blocked = true
+		m.ackHigh = m.nextDeliver - 1
+	}
+	held := make([]uint64, 0, len(m.holdback))
+	for s := range m.holdback {
+		held = append(held, s)
+	}
+	sort.Slice(held, func(i, j int) bool { return held[i] < held[j] })
+	ack := &frame{
+		Kind:   kPrepareAck,
+		ViewID: f.ViewID,
+		Origin: m.Addr(),
+		Seq:    m.nextDeliver - 1,
+		Seqs:   held,
+	}
+	if from == m.Addr() || from == "" {
+		m.handleFrame(transport.Message{From: m.Addr(), To: m.Addr()}, ack)
+	} else {
+		m.sendControl(from, ack)
+	}
+}
+
+func (m *Member) handlePrepareAck(from string, f *frame) {
+	p := m.proposal
+	if p == nil || f.ViewID != p.viewID {
+		return
+	}
+	p.ackFrom[f.Origin] = &ackInfo{high: f.Seq, held: f.Seqs}
+	m.checkProposalReady()
+}
+
+// checkProposalReady advances the proposal once every needed survivor has
+// acknowledged the flush.
+func (m *Member) checkProposalReady() {
+	p := m.proposal
+	if p == nil || p.fetching {
+		return
+	}
+	for mm := range p.need {
+		if _, ok := p.ackFrom[mm]; !ok {
+			return
+		}
+	}
+	m.beginRecovery()
+}
+
+// beginRecovery computes the flush frontier and fetches any sequenced
+// frames the proposer lacks before redistribution.
+func (m *Member) beginRecovery() {
+	p := m.proposal
+	maxSeq := m.nextDeliver - 1
+	whoHas := make(map[uint64]string)
+	for mm, ack := range p.ackFrom {
+		if ack.high > maxSeq {
+			maxSeq = ack.high
+		}
+		for _, s := range ack.held {
+			if s > maxSeq {
+				maxSeq = s
+			}
+			if _, ok := whoHas[s]; !ok {
+				whoHas[s] = mm
+			}
+		}
+		// Any seq <= ack.high is available from mm's history.
+		if _, ok := whoHas[ack.high]; !ok && ack.high > 0 {
+			whoHas[ack.high] = mm
+		}
+	}
+	// If the proposer was the sequencer, its own assignment counter also
+	// bounds the frontier.
+	if m.view.Coordinator() == m.Addr() && m.nextSeq-1 > maxSeq {
+		maxSeq = m.nextSeq - 1
+	}
+	p.maxSeq = maxSeq
+
+	// Which undelivered frames up to the frontier do we lack?
+	missing := make([]uint64, 0)
+	for s := m.nextDeliver; s <= maxSeq; s++ {
+		if _, ok := m.holdback[s]; ok {
+			continue
+		}
+		if _, ok := m.history[s]; ok {
+			continue
+		}
+		missing = append(missing, s)
+	}
+	if len(missing) == 0 {
+		m.redistributeAndInstall()
+		return
+	}
+	// Ask the members that reported having each sequence.
+	p.fetching = true
+	p.fetchUntil = m.now().Add(m.cfg.PrepareTimeout)
+	req := make(map[string][]uint64)
+	for _, s := range missing {
+		owner := ""
+		// Prefer the explicit holder; otherwise any member whose high
+		// covers s.
+		if o, ok := whoHas[s]; ok {
+			owner = o
+		} else {
+			for mm, ack := range p.ackFrom {
+				if ack.high >= s {
+					owner = mm
+					break
+				}
+			}
+		}
+		if owner == "" || owner == m.Addr() {
+			// Nobody has it: it will become a no-op filler.
+			continue
+		}
+		p.fetchWait[s] = true
+		req[owner] = append(req[owner], s)
+	}
+	if len(p.fetchWait) == 0 {
+		p.fetching = false
+		m.redistributeAndInstall()
+		return
+	}
+	for owner, seqs := range req {
+		m.sendControl(owner, &frame{Kind: kFetch, ViewID: p.viewID, Origin: m.Addr(), Seqs: seqs})
+	}
+}
+
+func (m *Member) handleFetch(from string, f *frame) {
+	resp := make([]*frame, 0, len(f.Seqs))
+	for _, s := range f.Seqs {
+		if hf, ok := m.history[s]; ok {
+			resp = append(resp, hf)
+		} else if rf, ok := m.holdback[s]; ok {
+			resp = append(resp, rf.f)
+		}
+	}
+	out := &frame{Kind: kFetchResp, ViewID: f.ViewID, Origin: m.Addr(), Aux: encodeFrameList(resp)}
+	m.sendControl(from, out)
+}
+
+func (m *Member) handleFetchResp(f *frame) {
+	p := m.proposal
+	if p == nil || !p.fetching || f.ViewID != p.viewID {
+		return
+	}
+	frames, err := decodeFrameList(f.Aux)
+	if err != nil {
+		return
+	}
+	for _, sf := range frames {
+		if sf.Kind != kSeq && sf.Kind != kView {
+			continue
+		}
+		if _, ok := m.holdback[sf.Seq]; !ok && sf.Seq >= m.nextDeliver {
+			m.holdback[sf.Seq] = m.rx(transport.Message{SentAt: -1}, sf, 0)
+		}
+		delete(p.fetchWait, sf.Seq)
+	}
+	if len(p.fetchWait) == 0 {
+		p.fetching = false
+		m.redistributeAndInstall()
+	}
+}
+
+// redistributeAndInstall fills every survivor's gaps up to the frontier,
+// synthesizes no-op fillers for unrecoverable sequences, and broadcasts the
+// sequenced view installation.
+func (m *Member) redistributeAndInstall() {
+	p := m.proposal
+	maxSeq := p.maxSeq
+
+	// Synthesize fillers for sequences nobody possesses. Their origins
+	// still hold the payload in pending and will resubmit in the new view.
+	for s := m.nextDeliver; s <= maxSeq; s++ {
+		if _, ok := m.holdback[s]; ok {
+			continue
+		}
+		if _, ok := m.history[s]; ok {
+			continue
+		}
+		filler := &frame{Kind: kSeq, ViewID: m.view.ID, Seq: s, Level: Agreed}
+		m.holdback[s] = &rxFrame{f: filler}
+	}
+
+	// Joiners inherit the per-origin dedup watermarks as they will be
+	// after the whole flushed prefix is delivered (the proposer knows
+	// this exactly: its own seenData advanced through delivery, plus the
+	// frames still sitting in its reconciled holdback).
+	finalSeen := make(map[string]uint64, len(m.seenData))
+	for o, s := range m.seenData {
+		finalSeen[o] = s
+	}
+	for s := m.nextDeliver; s <= maxSeq; s++ {
+		if rf, ok := m.holdback[s]; ok && rf.f.Origin != "" && rf.f.OSeq > finalSeen[rf.f.Origin] {
+			finalSeen[rf.f.Origin] = rf.f.OSeq
+		}
+	}
+	viewFrame := &frame{
+		Kind:    kView,
+		ViewID:  p.viewID,
+		Seq:     maxSeq + 1,
+		Origin:  m.Addr(),
+		Members: p.members,
+		Aux:     encodeSeenData(finalSeen),
+	}
+
+	// Send missing frames + the view to each survivor; joiners get only
+	// the view (they install directly and start at the new frontier).
+	for _, mm := range p.members {
+		if p.joiners[mm] {
+			m.sendControl(mm, viewFrame)
+			continue
+		}
+		ack := p.ackFrom[mm]
+		if mm != m.Addr() && ack != nil {
+			held := make(map[uint64]bool, len(ack.held))
+			for _, s := range ack.held {
+				held[s] = true
+			}
+			for s := ack.high + 1; s <= maxSeq; s++ {
+				if held[s] {
+					continue
+				}
+				if hf, ok := m.history[s]; ok {
+					m.sendControl(mm, hf)
+				} else if rf, ok := m.holdback[s]; ok {
+					m.sendControl(mm, rf.f)
+				}
+			}
+		}
+		if mm == m.Addr() {
+			m.handleFrame(transport.Message{From: mm, To: mm}, viewFrame)
+		} else {
+			m.sendControl(mm, viewFrame)
+		}
+	}
+}
+
+// handleViewFrame processes a sequenced kView: it is held back like any
+// sequenced frame until the stream is contiguous, then installs.
+func (m *Member) handleViewFrame(msg transport.Message, f *frame) {
+	if !m.installed {
+		// Joining (or previously excluded): install directly if we are a
+		// member of the new view.
+		if contains(f.Members, m.Addr()) {
+			m.adoptView(f)
+		}
+		return
+	}
+	if f.ViewID <= m.view.ID || f.Seq < m.nextDeliver {
+		return
+	}
+	if _, dup := m.holdback[f.Seq]; dup {
+		// A data frame may squat on the view's sequence slot (assigned by
+		// a dead sequencer and reported by nobody): the view wins.
+		if m.holdback[f.Seq].f.Kind != kView {
+			m.holdback[f.Seq] = &rxFrame{f: f}
+		}
+		m.tryInstallHeldView()
+		return
+	}
+	m.holdback[f.Seq] = &rxFrame{f: f}
+	m.tryInstallHeldView()
+}
+
+// tryInstallHeldView delivers up to a held view frame once the stream below
+// it is contiguous, then installs it. While blocked, normal drainHoldback
+// is paused, so this is the only path that makes progress during a flush.
+func (m *Member) tryInstallHeldView() {
+	// Find the lowest held view frame.
+	var vs uint64
+	for s, rf := range m.holdback {
+		if rf.f.Kind == kView && (vs == 0 || s < vs) {
+			vs = s
+		}
+	}
+	if vs == 0 {
+		return
+	}
+	// Deliver everything below it if contiguous.
+	for s := m.nextDeliver; s < vs; s++ {
+		if _, ok := m.holdback[s]; !ok {
+			// Gap: ask the proposer for it.
+			rf := m.holdback[vs]
+			missing := make([]uint64, 0, 8)
+			for q := m.nextDeliver; q < vs && len(missing) < 64; q++ {
+				if _, ok := m.holdback[q]; !ok {
+					missing = append(missing, q)
+				}
+			}
+			m.sendControl(rf.f.Origin, &frame{Kind: kNack, Origin: m.Addr(), Seqs: missing})
+			return
+		}
+	}
+	for m.nextDeliver <= vs {
+		s := m.nextDeliver
+		rf := m.holdback[s]
+		delete(m.holdback, s)
+		m.nextDeliver++
+		m.deliverSequenced(rf)
+	}
+	// The installation unblocked us; frames that arrived during the flush
+	// (or were sequenced reentrantly by installView) may be deliverable.
+	if !m.blocked {
+		m.drainHoldback()
+	}
+}
+
+// adoptView is the direct installation path for joiners.
+func (m *Member) adoptView(f *frame) {
+	m.recordHistory(f)
+	m.nextDeliver = f.Seq + 1
+	if seen, err := decodeSeenData(f.Aux); err == nil {
+		for o, s := range seen {
+			if s > m.seenData[o] {
+				m.seenData[o] = s
+			}
+		}
+	}
+	m.installJoinedView(f, true)
+}
+
+// installView switches to the new view and resumes normal operation.
+func (m *Member) installView(f *frame) { m.installJoinedView(f, false) }
+
+func (m *Member) installJoinedView(f *frame, joined bool) {
+	m.view = View{ID: f.ViewID, Members: append([]string(nil), f.Members...)}
+	m.installed = true
+	m.joining = false
+	m.blocked = false
+	m.proposal = nil
+	m.lastView = f
+	if f.ViewID > m.highProposed {
+		m.highProposed = f.ViewID
+	}
+
+	// Discard stale sequenced frames beyond the installation point: their
+	// origins resubmit them in the new view.
+	for s := range m.holdback {
+		if s < m.nextDeliver {
+			delete(m.holdback, s)
+		}
+	}
+
+	if !m.view.Contains(m.Addr()) {
+		// We were excluded (false suspicion): rejoin as a fresh
+		// incarnation, keeping pending submissions.
+		m.installed = false
+		m.joining = true
+		m.cfg.Seeds = f.Members
+		return
+	}
+
+	m.resetPerViewState()
+	m.joinReqs = make(map[string]bool)
+	m.leaveReqs = make(map[string]bool)
+
+	// Emit the view change before resuming traffic: resuming can
+	// synchronously sequence and deliver resubmitted messages, and those
+	// deliveries belong to the new view in the event order.
+	m.emit(Event{Kind: EventView, View: m.view.clone(), Seq: f.Seq, VTime: m.deliverVT, Joined: joined})
+
+	if m.view.Coordinator() == m.Addr() {
+		m.nextSeq = f.Seq + 1
+		// The sequencing watermark restarts from the delivery record
+		// (identical at every member after the flush), then anything
+		// buffered during the block is sequenced.
+		m.seqLocal = make(map[string]uint64, len(m.seenData))
+		for o, s := range m.seenData {
+			m.seqLocal[o] = s
+		}
+		for origin := range m.dataHold {
+			m.sequenceReady(origin)
+		}
+	} else {
+		m.seqLocal = make(map[string]uint64)
+		m.dataHold = make(map[string]map[uint64]*rxFrame)
+	}
+
+	// Resubmit unsequenced agreed traffic to the new sequencer.
+	for _, oseq := range m.pendOrder {
+		if pf, ok := m.pending[oseq]; ok {
+			m.sendControl(m.currentSequencer(), pf)
+		}
+	}
+}
+
+// advanceProposal enforces deadlines on an in-flight proposal.
+func (m *Member) advanceProposal(nowT time.Time) {
+	p := m.proposal
+	if p == nil {
+		return
+	}
+	if p.fetching {
+		if nowT.After(p.fetchUntil) {
+			// Treat unfetchable frames as unrecoverable.
+			p.fetchWait = make(map[uint64]bool)
+			p.fetching = false
+			m.redistributeAndInstall()
+		}
+		return
+	}
+	if nowT.After(p.deadline) {
+		// Survivors that failed to ack are suspected; restart.
+		for mm := range p.need {
+			if _, ok := p.ackFrom[mm]; !ok {
+				m.suspects[mm] = true
+			}
+		}
+		m.proposal = nil
+		m.maybePropose()
+	}
+}

@@ -1,0 +1,292 @@
+// Package interceptor is versadep's analogue of the paper's library
+// interposition layer (§3.1): the shim that slides underneath the client
+// ORB and transparently changes where its messages go.
+//
+// The paper's replicator is an LD_PRELOAD-style shared library that
+// redefines the socket calls a CORBA client makes, so the application
+// believes it is using a point-to-point GIOP connection while its traffic
+// actually travels a reliable multicast group. Go cannot portably interpose
+// on libc, but the observable contract is reproducible exactly because the
+// client ORB's transport is the Wire interface: this package provides
+//
+//   - PassthroughWire: messages intercepted but NOT modified — the
+//     "client intercepted" configuration of Figure 4, charging the
+//     interception cost while keeping the point-to-point path; and
+//   - GroupWire: full redirection onto the group communication substrate —
+//     requests are submitted into the server group's totally ordered
+//     stream and replies from the replicas are filtered (first response,
+//     or majority voting when Byzantine replies are a concern, §3.1).
+//
+// Either way the code calling orb.Client.Invoke cannot tell the
+// difference, which is the transparency design goal.
+package interceptor
+
+import (
+	"sync"
+
+	"versadep/internal/gcs"
+	"versadep/internal/orb"
+	"versadep/internal/replication"
+	"versadep/internal/vtime"
+)
+
+// PassthroughWire wraps an inner wire, charging the interception cost on
+// every crossing without changing the message path.
+type PassthroughWire struct {
+	inner orb.Wire
+	model vtime.CostModel
+	out   chan orb.WireReply
+	stop  chan struct{}
+	done  chan struct{}
+}
+
+var _ orb.Wire = (*PassthroughWire)(nil)
+
+// NewPassthrough interposes on inner.
+func NewPassthrough(inner orb.Wire, model vtime.CostModel) *PassthroughWire {
+	w := &PassthroughWire{
+		inner: inner,
+		model: model,
+		out:   make(chan orb.WireReply, 64),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	go w.pump()
+	return w
+}
+
+// Send charges the interception crossing and forwards.
+func (w *PassthroughWire) Send(reqBytes []byte, sentAt vtime.Time, led vtime.Ledger) error {
+	led.Charge(vtime.ComponentReplicator, w.model.Intercept)
+	return w.inner.Send(reqBytes, sentAt.Add(w.model.Intercept), led)
+}
+
+// Recv returns the intercepted reply stream.
+func (w *PassthroughWire) Recv() <-chan orb.WireReply { return w.out }
+
+// Close releases the wire.
+func (w *PassthroughWire) Close() error {
+	select {
+	case <-w.stop:
+	default:
+		close(w.stop)
+	}
+	err := w.inner.Close()
+	<-w.done
+	return err
+}
+
+func (w *PassthroughWire) pump() {
+	defer close(w.done)
+	for {
+		select {
+		case wr, ok := <-w.inner.Recv():
+			if !ok {
+				return
+			}
+			wr.Ledger.Charge(vtime.ComponentReplicator, w.model.Intercept)
+			wr.VTime = wr.VTime.Add(w.model.Intercept)
+			select {
+			case w.out <- wr:
+			case <-w.stop:
+				return
+			}
+		case <-w.stop:
+			return
+		}
+	}
+}
+
+// ReplyFilter selects how replies from active replicas are reduced to one.
+type ReplyFilter uint8
+
+// Reply filters (§3.1: the client "can accept the first response received,
+// if the server replicas are trusted not to behave maliciously", or "do
+// majority voting on all the responses").
+const (
+	// FilterFirst delivers the first reply per request and drops the
+	// rest.
+	FilterFirst ReplyFilter = iota + 1
+	// FilterMajority delivers once a majority of the expected replies
+	// are byte-identical.
+	FilterMajority
+)
+
+// GroupWire redirects a client ORB onto a replicated server group.
+type GroupWire struct {
+	gc     *gcs.GroupClient
+	model  vtime.CostModel
+	filter ReplyFilter
+
+	mu        sync.Mutex
+	expected  int
+	delivered map[uint64]bool
+	votes     map[uint64]map[string]*vote
+	highRid   uint64
+
+	out  chan orb.WireReply
+	stop chan struct{}
+	done chan struct{}
+}
+
+type vote struct {
+	count int
+	wr    orb.WireReply
+}
+
+var _ orb.Wire = (*GroupWire)(nil)
+
+// GroupWireOption configures a GroupWire.
+type GroupWireOption func(*GroupWire)
+
+// WithFilter selects the reply filter (default FilterFirst).
+func WithFilter(f ReplyFilter) GroupWireOption {
+	return func(w *GroupWire) { w.filter = f }
+}
+
+// WithExpectedReplies sets the replica count majority voting is computed
+// against (default 1).
+func WithExpectedReplies(n int) GroupWireOption {
+	return func(w *GroupWire) { w.expected = n }
+}
+
+// NewGroupWire interposes a client onto the group behind gc.
+func NewGroupWire(gc *gcs.GroupClient, model vtime.CostModel, opts ...GroupWireOption) *GroupWire {
+	w := &GroupWire{
+		gc:        gc,
+		model:     model,
+		filter:    FilterFirst,
+		expected:  1,
+		delivered: make(map[uint64]bool),
+		votes:     make(map[uint64]map[string]*vote),
+		out:       make(chan orb.WireReply, 64),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(w)
+	}
+	go w.pump()
+	return w
+}
+
+// SetExpectedReplies adjusts the majority threshold when the number of
+// replicas changes (the #replicas knob moving at runtime).
+func (w *GroupWire) SetExpectedReplies(n int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if n > 0 {
+		w.expected = n
+	}
+}
+
+// Send wraps the request in a replication envelope and submits it into the
+// group's agreed stream.
+func (w *GroupWire) Send(reqBytes []byte, sentAt vtime.Time, led vtime.Ledger) error {
+	led.Charge(vtime.ComponentReplicator, w.model.Intercept)
+	payload := replication.WrapRequest(reqBytes)
+	return w.gc.Submit(payload, sentAt.Add(w.model.Intercept), led)
+}
+
+// Recv returns the filtered reply stream.
+func (w *GroupWire) Recv() <-chan orb.WireReply { return w.out }
+
+// Close stops the wire and the underlying group client.
+func (w *GroupWire) Close() error {
+	select {
+	case <-w.stop:
+	default:
+		close(w.stop)
+	}
+	w.gc.Stop()
+	<-w.done
+	return nil
+}
+
+func (w *GroupWire) pump() {
+	defer close(w.done)
+	for {
+		select {
+		case e, ok := <-w.gc.Out():
+			if !ok {
+				return
+			}
+			if e.Kind != gcs.EventDirect {
+				continue
+			}
+			wr := orb.WireReply{Bytes: e.Payload, VTime: e.VTime, Ledger: e.Ledger}
+			wr.Ledger.Charge(vtime.ComponentReplicator, w.model.Intercept)
+			wr.VTime = wr.VTime.Add(w.model.Intercept)
+			if out, deliver := w.filterReply(wr); deliver {
+				select {
+				case w.out <- out:
+				case <-w.stop:
+					return
+				}
+			}
+		case <-w.stop:
+			return
+		}
+	}
+}
+
+// filterReply applies duplicate suppression and the configured filter.
+func (w *GroupWire) filterReply(wr orb.WireReply) (orb.WireReply, bool) {
+	_, rid, err := orb.PeekReplyID(wr.Bytes)
+	if err != nil {
+		return wr, false
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.delivered[rid] {
+		return wr, false
+	}
+	switch w.filter {
+	case FilterMajority:
+		need := w.expected/2 + 1
+		byBytes := w.votes[rid]
+		if byBytes == nil {
+			byBytes = make(map[string]*vote)
+			w.votes[rid] = byBytes
+		}
+		key := string(wr.Bytes)
+		v := byBytes[key]
+		if v == nil {
+			v = &vote{wr: wr}
+			byBytes[key] = v
+		}
+		v.count++
+		// The delivered reply carries the slowest voter's virtual time:
+		// a voting client cannot proceed before the majority is in.
+		if wr.VTime.After(v.wr.VTime) {
+			v.wr = wr
+		}
+		if v.count < need {
+			return wr, false
+		}
+		w.markDelivered(rid)
+		delete(w.votes, rid)
+		return v.wr, true
+	default: // FilterFirst
+		w.markDelivered(rid)
+		return wr, true
+	}
+}
+
+// markDelivered records rid and prunes old entries (w.mu held).
+func (w *GroupWire) markDelivered(rid uint64) {
+	w.delivered[rid] = true
+	if rid > w.highRid {
+		w.highRid = rid
+	}
+	for old := range w.delivered {
+		if old+256 <= w.highRid {
+			delete(w.delivered, old)
+		}
+	}
+	for old := range w.votes {
+		if old+256 <= w.highRid {
+			delete(w.votes, old)
+		}
+	}
+}

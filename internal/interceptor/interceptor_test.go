@@ -1,0 +1,242 @@
+package interceptor
+
+import (
+	"testing"
+	"time"
+
+	"versadep/internal/orb"
+	"versadep/internal/vtime"
+)
+
+// fakeWire is a scriptable inner wire for passthrough tests.
+type fakeWire struct {
+	sent   [][]byte
+	sentAt []vtime.Time
+	leds   []vtime.Ledger
+	out    chan orb.WireReply
+	closed bool
+}
+
+func newFakeWire() *fakeWire {
+	return &fakeWire{out: make(chan orb.WireReply, 8)}
+}
+
+func (w *fakeWire) Send(req []byte, sentAt vtime.Time, led vtime.Ledger) error {
+	w.sent = append(w.sent, req)
+	w.sentAt = append(w.sentAt, sentAt)
+	w.leds = append(w.leds, led)
+	return nil
+}
+
+func (w *fakeWire) Recv() <-chan orb.WireReply { return w.out }
+
+func (w *fakeWire) Close() error {
+	w.closed = true
+	close(w.out)
+	return nil
+}
+
+func TestPassthroughChargesBothDirections(t *testing.T) {
+	model := vtime.DefaultCostModel()
+	inner := newFakeWire()
+	pw := NewPassthrough(inner, model)
+	defer pw.Close()
+
+	var led vtime.Ledger
+	if err := pw.Send([]byte("req"), vtime.Time(1000), led); err != nil {
+		t.Fatal(err)
+	}
+	if len(inner.sent) != 1 {
+		t.Fatalf("sent %d", len(inner.sent))
+	}
+	if got := inner.sentAt[0]; got != vtime.Time(1000).Add(model.Intercept) {
+		t.Fatalf("send vt = %v", got)
+	}
+	if got := inner.leds[0].Of(vtime.ComponentReplicator); got != model.Intercept {
+		t.Fatalf("send charge = %v", got)
+	}
+
+	reply := orb.EncodeReply(&orb.Reply{ClientID: "c", ReqID: 1, Status: orb.StatusOK})
+	inner.out <- orb.WireReply{Bytes: reply, VTime: vtime.Time(5000)}
+	select {
+	case wr := <-pw.Recv():
+		if wr.VTime != vtime.Time(5000).Add(model.Intercept) {
+			t.Fatalf("recv vt = %v", wr.VTime)
+		}
+		if got := wr.Ledger.Of(vtime.ComponentReplicator); got != model.Intercept {
+			t.Fatalf("recv charge = %v", got)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("passthrough swallowed the reply")
+	}
+}
+
+func TestPassthroughCloseClosesInner(t *testing.T) {
+	inner := newFakeWire()
+	pw := NewPassthrough(inner, vtime.DefaultCostModel())
+	if err := pw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !inner.closed {
+		t.Fatal("inner wire not closed")
+	}
+}
+
+// filterHarness exercises GroupWire's reply filter directly.
+func mkReply(rid uint64, payload string) orb.WireReply {
+	return orb.WireReply{
+		Bytes: orb.EncodeReply(&orb.Reply{
+			ClientID: "c", ReqID: rid, Status: orb.StatusOK,
+			ErrMsg: payload, // distinguishes divergent replies bytewise
+		}),
+		VTime: vtime.Time(rid * 100),
+	}
+}
+
+func TestFilterFirstDeliversOnceDropsDuplicates(t *testing.T) {
+	w := &GroupWire{
+		filter:    FilterFirst,
+		expected:  3,
+		delivered: make(map[uint64]bool),
+		votes:     make(map[uint64]map[string]*vote),
+	}
+	if _, ok := w.filterReply(mkReply(1, "a")); !ok {
+		t.Fatal("first reply not delivered")
+	}
+	if _, ok := w.filterReply(mkReply(1, "a")); ok {
+		t.Fatal("duplicate delivered")
+	}
+	if _, ok := w.filterReply(mkReply(1, "b")); ok {
+		t.Fatal("late divergent duplicate delivered")
+	}
+	if _, ok := w.filterReply(mkReply(2, "a")); !ok {
+		t.Fatal("next request's reply blocked")
+	}
+}
+
+func TestFilterMajorityWaitsForQuorum(t *testing.T) {
+	w := &GroupWire{
+		filter:    FilterMajority,
+		expected:  3,
+		delivered: make(map[uint64]bool),
+		votes:     make(map[uint64]map[string]*vote),
+	}
+	// Majority of 3 is 2: the first identical pair delivers.
+	if _, ok := w.filterReply(mkReply(1, "x")); ok {
+		t.Fatal("delivered before quorum")
+	}
+	wr, ok := w.filterReply(mkReply(1, "x"))
+	if !ok {
+		t.Fatal("quorum not delivered")
+	}
+	if _, rid, _ := orb.PeekReplyID(wr.Bytes); rid != 1 {
+		t.Fatalf("rid = %d", rid)
+	}
+	// The third (late) vote is suppressed.
+	if _, ok := w.filterReply(mkReply(1, "x")); ok {
+		t.Fatal("post-quorum duplicate delivered")
+	}
+}
+
+func TestFilterMajorityOutvotesDivergentReply(t *testing.T) {
+	w := &GroupWire{
+		filter:    FilterMajority,
+		expected:  3,
+		delivered: make(map[uint64]bool),
+		votes:     make(map[uint64]map[string]*vote),
+	}
+	// A Byzantine-style divergent reply arrives first; it never reaches
+	// quorum, the two honest identical ones do.
+	if _, ok := w.filterReply(mkReply(1, "evil")); ok {
+		t.Fatal("single divergent reply delivered")
+	}
+	if _, ok := w.filterReply(mkReply(1, "good")); ok {
+		t.Fatal("first honest reply delivered early")
+	}
+	wr, ok := w.filterReply(mkReply(1, "good"))
+	if !ok {
+		t.Fatal("honest quorum blocked")
+	}
+	rep, err := orb.DecodeReply(wr.Bytes)
+	if err != nil || rep.ErrMsg != "good" {
+		t.Fatalf("delivered %q, %v", rep.ErrMsg, err)
+	}
+}
+
+func TestFilterMajorityCarriesSlowestVoterTime(t *testing.T) {
+	w := &GroupWire{
+		filter:    FilterMajority,
+		expected:  3,
+		delivered: make(map[uint64]bool),
+		votes:     make(map[uint64]map[string]*vote),
+	}
+	r1 := mkReply(1, "x")
+	r1.VTime = vtime.Time(100)
+	r2 := mkReply(1, "x")
+	r2.VTime = vtime.Time(900)
+	w.filterReply(r1)
+	wr, ok := w.filterReply(r2)
+	if !ok {
+		t.Fatal("quorum not reached")
+	}
+	if wr.VTime != vtime.Time(900) {
+		t.Fatalf("voted reply vt = %v, want the slower voter's 900", wr.VTime)
+	}
+}
+
+func TestFilterExpectedRepliesAdjustable(t *testing.T) {
+	w := &GroupWire{
+		filter:    FilterMajority,
+		expected:  5,
+		delivered: make(map[uint64]bool),
+		votes:     make(map[uint64]map[string]*vote),
+	}
+	// Majority of 5 is 3.
+	w.filterReply(mkReply(1, "x"))
+	if _, ok := w.filterReply(mkReply(1, "x")); ok {
+		t.Fatal("2/5 delivered")
+	}
+	if _, ok := w.filterReply(mkReply(1, "x")); !ok {
+		t.Fatal("3/5 not delivered")
+	}
+	// The replicas knob moved down to 1: next request needs one vote.
+	w.SetExpectedReplies(1)
+	if _, ok := w.filterReply(mkReply(2, "y")); !ok {
+		t.Fatal("1/1 not delivered")
+	}
+	// Invalid values are ignored.
+	w.SetExpectedReplies(0)
+	if _, ok := w.filterReply(mkReply(3, "z")); !ok {
+		t.Fatal("threshold corrupted by invalid SetExpectedReplies")
+	}
+}
+
+func TestFilterPrunesOldState(t *testing.T) {
+	w := &GroupWire{
+		filter:    FilterFirst,
+		expected:  1,
+		delivered: make(map[uint64]bool),
+		votes:     make(map[uint64]map[string]*vote),
+	}
+	for rid := uint64(1); rid <= 1000; rid++ {
+		w.filterReply(mkReply(rid, "x"))
+	}
+	w.mu.Lock()
+	n := len(w.delivered)
+	w.mu.Unlock()
+	if n > 300 {
+		t.Fatalf("delivered map grew unbounded: %d entries", n)
+	}
+}
+
+func TestFilterRejectsGarbage(t *testing.T) {
+	w := &GroupWire{
+		filter:    FilterFirst,
+		expected:  1,
+		delivered: make(map[uint64]bool),
+		votes:     make(map[uint64]map[string]*vote),
+	}
+	if _, ok := w.filterReply(orb.WireReply{Bytes: []byte("not viop")}); ok {
+		t.Fatal("garbage delivered")
+	}
+}

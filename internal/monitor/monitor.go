@@ -1,0 +1,195 @@
+// Package monitor implements the metric-collection side of the paper's
+// framework (§2, step 1): "monitoring various system metrics (e.g.,
+// latency, jitter, CPU load) in order to evaluate the conditions in the
+// working environment."
+//
+// All metrics are collected in virtual time, matching the evaluation
+// substrate: latency and jitter aggregate round-trip outcomes; rate meters
+// derive arrival rates from virtual timestamps; the bandwidth meter turns
+// the network fabric's byte counters into MB/s over a virtual span —
+// exactly the quantities Figures 3, 4, 6 and 7 report.
+package monitor
+
+import (
+	"math"
+	"sync"
+
+	"versadep/internal/vtime"
+)
+
+// LatencyStats summarizes a latency population.
+type LatencyStats struct {
+	Count  int
+	Mean   vtime.Duration
+	Min    vtime.Duration
+	Max    vtime.Duration
+	Jitter vtime.Duration // standard deviation, the paper's error bars
+	P99    vtime.Duration
+}
+
+// LatencyMonitor aggregates round-trip latencies. It is safe for
+// concurrent use (clients record from their own goroutines).
+type LatencyMonitor struct {
+	mu      sync.Mutex
+	samples []vtime.Duration
+}
+
+// Record adds one round-trip observation.
+func (m *LatencyMonitor) Record(d vtime.Duration) {
+	m.mu.Lock()
+	m.samples = append(m.samples, d)
+	m.mu.Unlock()
+}
+
+// Samples returns a copy of the raw observations.
+func (m *LatencyMonitor) Samples() []vtime.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]vtime.Duration(nil), m.samples...)
+}
+
+// Count returns the number of observations.
+func (m *LatencyMonitor) Count() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.samples)
+}
+
+// Stats computes the summary. An empty monitor returns zeros.
+func (m *LatencyMonitor) Stats() LatencyStats {
+	m.mu.Lock()
+	samples := append([]vtime.Duration(nil), m.samples...)
+	m.mu.Unlock()
+	if len(samples) == 0 {
+		return LatencyStats{}
+	}
+	var sum float64
+	st := LatencyStats{Count: len(samples), Min: samples[0], Max: samples[0]}
+	for _, d := range samples {
+		sum += float64(d)
+		if d < st.Min {
+			st.Min = d
+		}
+		if d > st.Max {
+			st.Max = d
+		}
+	}
+	mean := sum / float64(len(samples))
+	st.Mean = vtime.Duration(mean)
+	var varsum float64
+	for _, d := range samples {
+		diff := float64(d) - mean
+		varsum += diff * diff
+	}
+	st.Jitter = vtime.Duration(math.Sqrt(varsum / float64(len(samples))))
+	st.P99 = percentile(samples, 0.99)
+	return st
+}
+
+// percentile computes the q-quantile (0..1) by selection; the sample sets
+// in experiments are small enough that sorting a copy is fine.
+func percentile(samples []vtime.Duration, q float64) vtime.Duration {
+	s := append([]vtime.Duration(nil), samples...)
+	// Insertion sort keeps this dependency-free and fast for small n.
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	idx := int(math.Ceil(q * float64(len(s)-1)))
+	return s[idx]
+}
+
+// RateMeter derives an arrival rate from virtual timestamps over a sliding
+// window of observations.
+type RateMeter struct {
+	mu     sync.Mutex
+	window int
+	stamps []vtime.Time
+}
+
+// NewRateMeter creates a meter with the given window size (minimum 2).
+func NewRateMeter(window int) *RateMeter {
+	if window < 2 {
+		window = 2
+	}
+	return &RateMeter{window: window}
+}
+
+// Record notes one arrival at virtual time vt.
+func (m *RateMeter) Record(vt vtime.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stamps = append(m.stamps, vt)
+	if len(m.stamps) > m.window {
+		m.stamps = m.stamps[len(m.stamps)-m.window:]
+	}
+}
+
+// Rate returns the arrival rate in events per virtual second, or zero
+// before two observations.
+func (m *RateMeter) Rate() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.stamps) < 2 {
+		return 0
+	}
+	span := m.stamps[len(m.stamps)-1].Sub(m.stamps[0])
+	if span <= 0 {
+		return 0
+	}
+	return float64(len(m.stamps)-1) / span.Seconds()
+}
+
+// Bandwidth converts a byte count over a virtual span into MB/s (the
+// paper's Figure 7b unit: 1 MB = 1e6 bytes).
+func Bandwidth(bytes int64, span vtime.Duration) float64 {
+	if span <= 0 {
+		return 0
+	}
+	return float64(bytes) / 1e6 / span.Seconds()
+}
+
+// LedgerBreakdown averages per-component charges over a set of ledgers —
+// the Figure 3 round-trip breakdown.
+func LedgerBreakdown(ledgers []vtime.Ledger) map[vtime.Component]vtime.Duration {
+	out := make(map[vtime.Component]vtime.Duration, 4)
+	if len(ledgers) == 0 {
+		return out
+	}
+	for _, c := range vtime.Components() {
+		var sum vtime.Duration
+		for i := range ledgers {
+			sum += ledgers[i].Of(c)
+		}
+		out[c] = sum / vtime.Duration(len(ledgers))
+	}
+	return out
+}
+
+// TimePoint is one sample of a time series (Figure 6's rate/style plot).
+type TimePoint struct {
+	VT    vtime.Time
+	Value float64
+	Label string
+}
+
+// Series is an append-only virtual-time series, safe for concurrent use.
+type Series struct {
+	mu     sync.Mutex
+	points []TimePoint
+}
+
+// Add appends a point.
+func (s *Series) Add(vt vtime.Time, value float64, label string) {
+	s.mu.Lock()
+	s.points = append(s.points, TimePoint{VT: vt, Value: value, Label: label})
+	s.mu.Unlock()
+}
+
+// Points returns a copy of the series.
+func (s *Series) Points() []TimePoint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]TimePoint(nil), s.points...)
+}

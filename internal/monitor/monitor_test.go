@@ -1,0 +1,166 @@
+package monitor
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"versadep/internal/vtime"
+)
+
+func TestLatencyStats(t *testing.T) {
+	var m LatencyMonitor
+	if st := m.Stats(); st.Count != 0 || st.Mean != 0 {
+		t.Fatalf("empty stats = %+v", st)
+	}
+	for _, d := range []vtime.Duration{100, 200, 300} {
+		m.Record(d * vtime.Microsecond)
+	}
+	st := m.Stats()
+	if st.Count != 3 || m.Count() != 3 {
+		t.Fatalf("count = %d", st.Count)
+	}
+	if st.Mean != 200*vtime.Microsecond {
+		t.Fatalf("mean = %v", st.Mean)
+	}
+	if st.Min != 100*vtime.Microsecond || st.Max != 300*vtime.Microsecond {
+		t.Fatalf("min/max = %v/%v", st.Min, st.Max)
+	}
+	// stddev of {100,200,300} = sqrt(20000/3)µs ≈ 81.6µs
+	if st.Jitter < 81*vtime.Microsecond || st.Jitter > 83*vtime.Microsecond {
+		t.Fatalf("jitter = %v", st.Jitter)
+	}
+	if st.P99 != 300*vtime.Microsecond {
+		t.Fatalf("p99 = %v", st.P99)
+	}
+}
+
+func TestLatencyMonitorConcurrent(t *testing.T) {
+	var m LatencyMonitor
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				m.Record(vtime.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if m.Count() != 1000 {
+		t.Fatalf("count = %d", m.Count())
+	}
+}
+
+func TestJitterZeroForConstant(t *testing.T) {
+	var m LatencyMonitor
+	for i := 0; i < 10; i++ {
+		m.Record(500 * vtime.Microsecond)
+	}
+	if st := m.Stats(); st.Jitter != 0 {
+		t.Fatalf("jitter = %v, want 0", st.Jitter)
+	}
+}
+
+func TestRateMeter(t *testing.T) {
+	m := NewRateMeter(10)
+	if m.Rate() != 0 {
+		t.Fatal("rate before samples should be 0")
+	}
+	// 1 event per millisecond = 1000/s.
+	for i := 0; i < 10; i++ {
+		m.Record(vtime.Time(i) * vtime.Time(vtime.Millisecond))
+	}
+	if r := m.Rate(); r < 999 || r > 1001 {
+		t.Fatalf("rate = %v, want ≈1000", r)
+	}
+	// The window slides: a burst of same-timestamp events yields 0 span
+	// protection.
+	m2 := NewRateMeter(4)
+	for i := 0; i < 4; i++ {
+		m2.Record(vtime.Time(5 * vtime.Millisecond))
+	}
+	if m2.Rate() != 0 {
+		t.Fatalf("zero-span rate = %v", m2.Rate())
+	}
+}
+
+func TestRateMeterWindowSlides(t *testing.T) {
+	m := NewRateMeter(5)
+	// Slow phase then fast phase; the window must reflect the fast tail.
+	for i := 0; i < 5; i++ {
+		m.Record(vtime.Time(i) * vtime.Time(vtime.Second))
+	}
+	base := vtime.Time(5 * vtime.Second)
+	for i := 0; i < 5; i++ {
+		m.Record(base + vtime.Time(i)*vtime.Time(vtime.Millisecond))
+	}
+	if r := m.Rate(); r < 900 {
+		t.Fatalf("rate = %v, window did not slide", r)
+	}
+}
+
+func TestBandwidth(t *testing.T) {
+	// 3 MB over 1 virtual second = 3 MB/s.
+	if got := Bandwidth(3_000_000, vtime.Second); got != 3.0 {
+		t.Fatalf("bandwidth = %v", got)
+	}
+	if got := Bandwidth(100, 0); got != 0 {
+		t.Fatalf("zero-span bandwidth = %v", got)
+	}
+}
+
+func TestLedgerBreakdown(t *testing.T) {
+	var l1, l2 vtime.Ledger
+	l1.Charge(vtime.ComponentORB, 400*vtime.Microsecond)
+	l2.Charge(vtime.ComponentORB, 200*vtime.Microsecond)
+	l2.Charge(vtime.ComponentGC, 600*vtime.Microsecond)
+	bd := LedgerBreakdown([]vtime.Ledger{l1, l2})
+	if bd[vtime.ComponentORB] != 300*vtime.Microsecond {
+		t.Fatalf("ORB avg = %v", bd[vtime.ComponentORB])
+	}
+	if bd[vtime.ComponentGC] != 300*vtime.Microsecond {
+		t.Fatalf("GC avg = %v", bd[vtime.ComponentGC])
+	}
+	if len(LedgerBreakdown(nil)) != 0 {
+		t.Fatal("empty breakdown should be empty")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Add(0, 1.0, "a")
+	s.Add(vtime.Time(vtime.Second), 2.0, "b")
+	pts := s.Points()
+	if len(pts) != 2 || pts[1].Value != 2.0 || pts[1].Label != "b" {
+		t.Fatalf("points = %+v", pts)
+	}
+	// Points returns a copy.
+	pts[0].Value = 99
+	if s.Points()[0].Value != 1.0 {
+		t.Fatal("Points aliases internal storage")
+	}
+}
+
+func TestPercentileProperty(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var m LatencyMonitor
+		max := vtime.Duration(0)
+		for _, r := range raw {
+			d := vtime.Duration(r)
+			if d > max {
+				max = d
+			}
+			m.Record(d)
+		}
+		st := m.Stats()
+		return st.P99 <= st.Max && st.Min <= st.Mean && st.Mean <= st.Max && st.Max == max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

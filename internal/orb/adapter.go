@@ -1,0 +1,123 @@
+package orb
+
+import (
+	"fmt"
+	"sync"
+
+	"versadep/internal/codec"
+	"versadep/internal/vtime"
+)
+
+// Adapter is the server-side object adapter: it owns the servant registry
+// and turns encoded requests into encoded replies, charging ORB and
+// application costs on the hosting process's virtual CPU.
+//
+// The adapter is transport-agnostic: the plain Server feeds it from a
+// point-to-point connection, while the replication engine feeds it from the
+// group's agreed stream. That split mirrors the paper's architecture, where
+// the same CORBA servant is driven either directly or through the
+// replicator.
+type Adapter struct {
+	model vtime.CostModel
+
+	mu       sync.Mutex
+	servants map[string]Servant
+}
+
+// NewAdapter creates an adapter charging costs from model.
+func NewAdapter(model vtime.CostModel) *Adapter {
+	return &Adapter{
+		model:    model,
+		servants: make(map[string]Servant),
+	}
+}
+
+// Register binds a servant to an object name, replacing any previous
+// binding.
+func (a *Adapter) Register(object string, s Servant) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.servants[object] = s
+}
+
+// Unregister removes an object binding.
+func (a *Adapter) Unregister(object string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	delete(a.servants, object)
+}
+
+// InvocationResult is the adapter's output for one request.
+type InvocationResult struct {
+	// ReplyBytes is the encoded VIOP reply.
+	ReplyBytes []byte
+	// Reply is the decoded form, for callers that need the contents.
+	Reply *Reply
+	// DoneVT is the virtual completion instant on cpu.
+	DoneVT vtime.Time
+	// Ledger is the input ledger plus the ORB and application charges.
+	Ledger vtime.Ledger
+}
+
+// HandleRequest decodes reqBytes, executes the target servant on cpu
+// (virtual time; arriving at arriveVT), and returns the encoded reply.
+// Decode/encode each charge an ORBMarshal crossing; servant execution
+// charges its declared cost (or the model's AppProcess).
+func (a *Adapter) HandleRequest(cpu *vtime.Server, reqBytes []byte, arriveVT vtime.Time, led vtime.Ledger) (*InvocationResult, error) {
+	req, err := DecodeRequest(reqBytes)
+	if err != nil {
+		return nil, fmt.Errorf("orb: adapter decode: %w", err)
+	}
+	vt := cpu.Execute(arriveVT, a.model.ORBMarshal)
+	led.Charge(vtime.ComponentORB, a.model.ORBMarshal)
+
+	reply, execCost := a.execute(req)
+	vt = cpu.Execute(vt, execCost)
+	led.Charge(vtime.ComponentApp, execCost)
+
+	vt = cpu.Execute(vt, a.model.ORBMarshal)
+	led.Charge(vtime.ComponentORB, a.model.ORBMarshal)
+
+	return &InvocationResult{
+		ReplyBytes: EncodeReply(reply),
+		Reply:      reply,
+		DoneVT:     vt,
+		Ledger:     led,
+	}, nil
+}
+
+// execute runs the servant, mapping errors to exception replies.
+func (a *Adapter) execute(req *Request) (*Reply, vtime.Duration) {
+	a.mu.Lock()
+	s := a.servants[req.Object]
+	a.mu.Unlock()
+
+	reply := &Reply{ClientID: req.ClientID, ReqID: req.ReqID}
+	if s == nil {
+		reply.Status = StatusException
+		reply.ErrMsg = fmt.Sprintf("no such servant %q", req.Object)
+		return reply, a.model.AppProcess
+	}
+	cost := a.model.AppProcess
+	if c, ok := s.(ExecCoster); ok {
+		cost = c.ExecCost(req.Operation, req.Args)
+	}
+	results, err := s.Invoke(req.Operation, req.Args)
+	if err != nil {
+		reply.Status = StatusException
+		reply.ErrMsg = err.Error()
+		return reply, cost
+	}
+	reply.Status = StatusOK
+	reply.Results = results
+	return reply, cost
+}
+
+// ResultsOrError converts a decoded reply into Go values, translating
+// exceptions into *RemoteError.
+func ResultsOrError(op string, r *Reply) ([]codec.Value, error) {
+	if r.Status == StatusException {
+		return nil, &RemoteError{Op: op, Msg: r.ErrMsg}
+	}
+	return r.Results, nil
+}

@@ -1,0 +1,203 @@
+package orb
+
+import (
+	"sync"
+	"time"
+
+	"versadep/internal/codec"
+	"versadep/internal/vtime"
+)
+
+// Client is the caller-side ORB: it marshals invocations, matches replies
+// by request id, and retries on loss. All timing is virtual except the
+// retry/timeout machinery, which is real-time (liveness, not performance).
+type Client struct {
+	id    string
+	wire  Wire
+	model vtime.CostModel
+
+	timeout time.Duration
+	retries int
+
+	mu      sync.Mutex
+	nextReq uint64
+	waiters map[uint64]chan WireReply
+	closed  bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithTimeout sets the per-attempt real-time reply timeout.
+func WithTimeout(d time.Duration) ClientOption {
+	return func(c *Client) { c.timeout = d }
+}
+
+// WithRetries sets how many times an invocation is retransmitted before
+// ErrTimeout. Retries reuse the request id, so replica-side duplicate
+// suppression keeps the invocation at-most-once.
+func WithRetries(n int) ClientOption {
+	return func(c *Client) { c.retries = n }
+}
+
+// NewClient creates a client ORB identified by id (its process address)
+// speaking over wire.
+func NewClient(id string, wire Wire, model vtime.CostModel, opts ...ClientOption) *Client {
+	c := &Client{
+		id:      id,
+		wire:    wire,
+		model:   model,
+		timeout: 2 * time.Second,
+		retries: 3,
+		waiters: make(map[uint64]chan WireReply),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	go c.dispatch()
+	return c
+}
+
+// ID returns the client's process identifier.
+func (c *Client) ID() string { return c.id }
+
+// Close shuts the client down; in-flight invocations fail with ErrClosed.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	close(c.stop)
+	<-c.done
+	return c.wire.Close()
+}
+
+// Outcome is the result of a successful invocation, with its virtual
+// timing.
+type Outcome struct {
+	// Results are the returned values (empty on exception — see err).
+	Results []codec.Value
+	// Reply is the full decoded reply.
+	Reply *Reply
+	// SentVT is the virtual instant the request left the client ORB.
+	SentVT vtime.Time
+	// DoneVT is the virtual instant the reply finished unmarshaling.
+	DoneVT vtime.Time
+	// Ledger is the complete per-component cost breakdown of the round
+	// trip.
+	Ledger vtime.Ledger
+}
+
+// RTT is the round-trip time in virtual time.
+func (o *Outcome) RTT() vtime.Duration { return o.DoneVT.Sub(o.SentVT) }
+
+// Invoke performs a synchronous invocation starting at virtual time now.
+// It retries transparently on loss; duplicate replies (from active
+// replicas or retries) are filtered by request id. The returned error is
+// ErrTimeout, ErrClosed, or a *RemoteError for servant exceptions.
+func (c *Client) Invoke(object, op string, args []codec.Value, now vtime.Time) (*Outcome, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	c.nextReq++
+	reqID := c.nextReq
+	ch := make(chan WireReply, 1)
+	c.waiters[reqID] = ch
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.waiters, reqID)
+		c.mu.Unlock()
+	}()
+
+	req := &Request{
+		ClientID:  c.id,
+		ReqID:     reqID,
+		Object:    object,
+		Operation: op,
+		Args:      args,
+	}
+	reqBytes := EncodeRequest(req)
+
+	// Client-side marshal: additive virtual cost (client CPUs are not a
+	// contended resource in the paper's experiments).
+	var led vtime.Ledger
+	led.Charge(vtime.ComponentORB, c.model.ORBMarshal)
+	sentVT := now.Add(c.model.ORBMarshal)
+
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if err := c.wire.Send(reqBytes, sentVT, led); err != nil {
+			return nil, err
+		}
+		timer := time.NewTimer(c.timeout)
+		select {
+		case wr := <-ch:
+			timer.Stop()
+			reply, err := DecodeReply(wr.Bytes)
+			if err != nil {
+				return nil, err
+			}
+			outLed := wr.Ledger
+			outLed.Charge(vtime.ComponentORB, c.model.ORBMarshal)
+			doneVT := wr.VTime.Add(c.model.ORBMarshal)
+			out := &Outcome{
+				Reply:  reply,
+				SentVT: now,
+				DoneVT: doneVT,
+				Ledger: outLed,
+			}
+			results, err := ResultsOrError(op, reply)
+			if err != nil {
+				return out, err
+			}
+			out.Results = results
+			return out, nil
+		case <-timer.C:
+			// Retransmit with the same request id.
+		case <-c.stop:
+			timer.Stop()
+			return nil, ErrClosed
+		}
+	}
+	return nil, ErrTimeout
+}
+
+// dispatch routes wire replies to waiting invocations, dropping duplicates
+// and replies to forgotten requests.
+func (c *Client) dispatch() {
+	defer close(c.done)
+	for {
+		select {
+		case wr, ok := <-c.wire.Recv():
+			if !ok {
+				return
+			}
+			cid, rid, err := PeekReplyID(wr.Bytes)
+			if err != nil || cid != c.id {
+				continue
+			}
+			c.mu.Lock()
+			ch := c.waiters[rid]
+			c.mu.Unlock()
+			if ch == nil {
+				continue
+			}
+			select {
+			case ch <- wr:
+			default: // duplicate reply for an already-answered request
+			}
+		case <-c.stop:
+			return
+		}
+	}
+}

@@ -1,0 +1,285 @@
+// Package orb is versadep's miniature object request broker — the stand-in
+// for the TAO real-time ORB the paper runs its prototype on.
+//
+// The replicator only depends on the ORB's externally visible shape: a
+// synchronous request/reply protocol (GIOP in the paper, VIOP here) with
+// request identifiers, typed argument marshaling, and per-message marshal
+// costs. VIOP reproduces that shape: requests and replies are encoded with
+// the codec package (the CDR analogue), matched by request id, and every
+// marshal/unmarshal crossing charges the cost model's ORBMarshal to the
+// message ledger — which is how the evaluation harness regenerates the ORB
+// share of Figure 3's round-trip breakdown.
+//
+// The client's transport is pluggable (the Wire interface): the baseline
+// configuration uses a direct point-to-point wire, while the interceptor
+// package substitutes wires that add interception costs or redirect the
+// connection onto the group communication substrate — transparently to the
+// code calling Invoke, exactly as library interposition is transparent to a
+// CORBA application.
+package orb
+
+import (
+	"errors"
+	"fmt"
+
+	"versadep/internal/codec"
+	"versadep/internal/vtime"
+)
+
+// Magic identifies VIOP messages on the wire ("VIOP" in ASCII).
+const Magic uint32 = 0x56494F50
+
+// MsgType discriminates VIOP messages.
+type MsgType uint8
+
+// VIOP message types.
+const (
+	MsgRequest MsgType = iota + 1
+	MsgReply
+)
+
+// Status is the outcome of an invocation.
+type Status uint8
+
+// Reply statuses.
+const (
+	StatusOK Status = iota + 1
+	StatusException
+)
+
+// Request is one VIOP invocation.
+type Request struct {
+	// ClientID identifies the calling process (its transport address);
+	// combined with ReqID it names the invocation uniquely, which is what
+	// replica-side duplicate suppression keys on.
+	ClientID string
+	// ReqID is the client's monotonically increasing request number.
+	ReqID uint64
+	// Object names the target servant.
+	Object string
+	// Operation names the method.
+	Operation string
+	// Args are the marshaled arguments.
+	Args []codec.Value
+}
+
+// Reply is the response to a Request.
+type Reply struct {
+	ClientID string
+	ReqID    uint64
+	Status   Status
+	// Results are the marshaled results (StatusOK).
+	Results []codec.Value
+	// ErrMsg carries the exception text (StatusException).
+	ErrMsg string
+}
+
+// Errors returned by the ORB.
+var (
+	// ErrBadMagic reports a non-VIOP byte stream.
+	ErrBadMagic = errors.New("orb: bad VIOP magic")
+	// ErrBadType reports an unexpected VIOP message type.
+	ErrBadType = errors.New("orb: unexpected VIOP message type")
+	// ErrTimeout reports an invocation that received no reply in time.
+	ErrTimeout = errors.New("orb: invocation timed out")
+	// ErrClosed reports use of a closed client.
+	ErrClosed = errors.New("orb: client closed")
+	// ErrNoServant reports an unknown target object.
+	ErrNoServant = errors.New("orb: no such servant")
+)
+
+// RemoteError is a servant exception propagated to the caller.
+type RemoteError struct {
+	Op  string
+	Msg string
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("orb: remote exception in %s: %s", e.Op, e.Msg)
+}
+
+// EncodeRequest marshals r into VIOP bytes.
+func EncodeRequest(r *Request) []byte {
+	e := codec.NewEncoder(64)
+	e.PutUint32(Magic)
+	e.PutUint8(uint8(MsgRequest))
+	e.PutString(r.ClientID)
+	e.PutUint64(r.ReqID)
+	e.PutString(r.Object)
+	e.PutString(r.Operation)
+	e.PutUint32(uint32(len(r.Args)))
+	for _, a := range r.Args {
+		e.PutValue(a)
+	}
+	return e.Bytes()
+}
+
+// DecodeRequest parses VIOP bytes into a Request.
+func DecodeRequest(b []byte) (*Request, error) {
+	d := codec.NewDecoder(b)
+	if err := checkHeader(d, MsgRequest); err != nil {
+		return nil, err
+	}
+	var r Request
+	var err error
+	if r.ClientID, err = d.String(); err != nil {
+		return nil, err
+	}
+	if r.ReqID, err = d.Uint64(); err != nil {
+		return nil, err
+	}
+	if r.Object, err = d.String(); err != nil {
+		return nil, err
+	}
+	if r.Operation, err = d.String(); err != nil {
+		return nil, err
+	}
+	n, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(n) > uint64(d.Remaining()) {
+		return nil, codec.ErrTooLarge
+	}
+	r.Args = make([]codec.Value, 0, n)
+	for i := uint32(0); i < n; i++ {
+		v, err := d.Value()
+		if err != nil {
+			return nil, err
+		}
+		r.Args = append(r.Args, v)
+	}
+	return &r, nil
+}
+
+// EncodeReply marshals r into VIOP bytes. The encoding is deterministic, so
+// replies from deterministic active replicas are byte-comparable — the
+// property majority voting relies on.
+func EncodeReply(r *Reply) []byte {
+	e := codec.NewEncoder(64)
+	e.PutUint32(Magic)
+	e.PutUint8(uint8(MsgReply))
+	e.PutString(r.ClientID)
+	e.PutUint64(r.ReqID)
+	e.PutUint8(uint8(r.Status))
+	e.PutString(r.ErrMsg)
+	e.PutUint32(uint32(len(r.Results)))
+	for _, v := range r.Results {
+		e.PutValue(v)
+	}
+	return e.Bytes()
+}
+
+// DecodeReply parses VIOP bytes into a Reply.
+func DecodeReply(b []byte) (*Reply, error) {
+	d := codec.NewDecoder(b)
+	if err := checkHeader(d, MsgReply); err != nil {
+		return nil, err
+	}
+	var r Reply
+	var err error
+	if r.ClientID, err = d.String(); err != nil {
+		return nil, err
+	}
+	if r.ReqID, err = d.Uint64(); err != nil {
+		return nil, err
+	}
+	st, err := d.Uint8()
+	if err != nil {
+		return nil, err
+	}
+	r.Status = Status(st)
+	if r.ErrMsg, err = d.String(); err != nil {
+		return nil, err
+	}
+	n, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(n) > uint64(d.Remaining()) {
+		return nil, codec.ErrTooLarge
+	}
+	r.Results = make([]codec.Value, 0, n)
+	for i := uint32(0); i < n; i++ {
+		v, err := d.Value()
+		if err != nil {
+			return nil, err
+		}
+		r.Results = append(r.Results, v)
+	}
+	return &r, nil
+}
+
+// PeekRequestID extracts the (ClientID, ReqID) pair from encoded request
+// bytes without a full decode. The replication engine uses it for duplicate
+// suppression before paying the unmarshal cost.
+func PeekRequestID(b []byte) (string, uint64, error) {
+	d := codec.NewDecoder(b)
+	if err := checkHeader(d, MsgRequest); err != nil {
+		return "", 0, err
+	}
+	cid, err := d.String()
+	if err != nil {
+		return "", 0, err
+	}
+	rid, err := d.Uint64()
+	if err != nil {
+		return "", 0, err
+	}
+	return cid, rid, nil
+}
+
+// PeekReplyID extracts the (ClientID, ReqID) pair from encoded reply bytes
+// without a full decode. The interceptor uses it to filter duplicate
+// replies from active replicas.
+func PeekReplyID(b []byte) (string, uint64, error) {
+	d := codec.NewDecoder(b)
+	if err := checkHeader(d, MsgReply); err != nil {
+		return "", 0, err
+	}
+	cid, err := d.String()
+	if err != nil {
+		return "", 0, err
+	}
+	rid, err := d.Uint64()
+	if err != nil {
+		return "", 0, err
+	}
+	return cid, rid, nil
+}
+
+func checkHeader(d *codec.Decoder, want MsgType) error {
+	magic, err := d.Uint32()
+	if err != nil {
+		return err
+	}
+	if magic != Magic {
+		return ErrBadMagic
+	}
+	t, err := d.Uint8()
+	if err != nil {
+		return err
+	}
+	if MsgType(t) != want {
+		return fmt.Errorf("%w: got %d, want %d", ErrBadType, t, want)
+	}
+	return nil
+}
+
+// Servant is a deterministic application object. Implementations must be
+// deterministic functions of (operation, args, prior state): active
+// replication executes every invocation at every replica and relies on the
+// replicas staying identical.
+type Servant interface {
+	// Invoke executes one operation. A returned error becomes a
+	// StatusException reply; it must be deterministic too.
+	Invoke(op string, args []codec.Value) ([]codec.Value, error)
+}
+
+// ExecCoster is optionally implemented by servants whose virtual execution
+// cost differs from the cost model's default AppProcess (e.g. workload
+// servants that simulate heavier application logic).
+type ExecCoster interface {
+	ExecCost(op string, args []codec.Value) vtime.Duration
+}

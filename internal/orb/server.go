@@ -1,0 +1,137 @@
+package orb
+
+import (
+	"sync"
+
+	"versadep/internal/transport"
+	"versadep/internal/vtime"
+)
+
+// Server hosts an adapter on a point-to-point connection: the unreplicated
+// baseline of Figure 4, optionally with the interception shim in the path
+// ("server intercepted" configuration). Replicated servers do not use this
+// type — the replication engine drives the adapter from the group's agreed
+// stream instead.
+type Server struct {
+	conn    transport.Conn
+	adapter *Adapter
+	cpu     *vtime.Server
+	model   vtime.CostModel
+
+	// interceptCost, when non-zero, simulates the library-interposition
+	// shim sitting under the ORB without modifying messages: each request
+	// and each reply crossing charges it (the paper's "intercepted but
+	// not modified" mode).
+	interceptCost vtime.Duration
+
+	mu       sync.Mutex
+	inbox    []transport.Message
+	inNotify chan struct{}
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithServerIntercept enables the pass-through interception shim on the
+// server side, charging cost per message crossing.
+func WithServerIntercept(cost vtime.Duration) ServerOption {
+	return func(s *Server) { s.interceptCost = cost }
+}
+
+// NewServer starts a baseline server. The caller must route inbound
+// ProtoVIOP messages to HandleTransport. cpu is the hosting process's
+// virtual CPU (shared with anything else the process does).
+func NewServer(conn transport.Conn, adapter *Adapter, cpu *vtime.Server, model vtime.CostModel, opts ...ServerOption) *Server {
+	s := &Server{
+		conn:     conn,
+		adapter:  adapter,
+		cpu:      cpu,
+		model:    model,
+		inNotify: make(chan struct{}, 1),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	go s.run()
+	return s
+}
+
+// HandleTransport ingests an inbound request message; safe from any
+// goroutine, never blocks.
+func (s *Server) HandleTransport(msg transport.Message) {
+	s.mu.Lock()
+	s.inbox = append(s.inbox, msg)
+	s.mu.Unlock()
+	select {
+	case s.inNotify <- struct{}{}:
+	default:
+	}
+}
+
+// Stop shuts the server down.
+func (s *Server) Stop() {
+	select {
+	case <-s.stop:
+		return
+	default:
+	}
+	close(s.stop)
+	<-s.done
+}
+
+func (s *Server) run() {
+	defer close(s.done)
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-s.inNotify:
+			for {
+				s.mu.Lock()
+				if len(s.inbox) == 0 {
+					s.mu.Unlock()
+					break
+				}
+				batch := s.inbox
+				s.inbox = nil
+				s.mu.Unlock()
+				for _, msg := range batch {
+					s.serve(msg)
+				}
+			}
+		}
+	}
+}
+
+func (s *Server) serve(msg transport.Message) {
+	env, err := DecodeEnvelope(msg.Payload)
+	if err != nil {
+		return
+	}
+	led := env.Ledger
+	vt := env.VT
+	if msg.ArriveAt >= msg.SentAt && msg.SentAt == env.VT {
+		led.Charge(vtime.ComponentORB, msg.ArriveAt.Sub(msg.SentAt))
+		vt = msg.ArriveAt
+	}
+	if s.interceptCost > 0 {
+		vt = s.cpu.Execute(vt, s.interceptCost)
+		led.Charge(vtime.ComponentReplicator, s.interceptCost)
+	}
+	res, err := s.adapter.HandleRequest(s.cpu, env.Bytes, vt, led)
+	if err != nil {
+		return // undecodable request: drop; the client retries
+	}
+	vt = res.DoneVT
+	led = res.Ledger
+	if s.interceptCost > 0 {
+		vt = s.cpu.Execute(vt, s.interceptCost)
+		led.Charge(vtime.ComponentReplicator, s.interceptCost)
+	}
+	out := &Envelope{VT: vt, Ledger: led, Bytes: res.ReplyBytes}
+	_ = s.conn.Send(msg.From, EncodeEnvelope(out), vt)
+}

@@ -1,0 +1,156 @@
+package orb
+
+import (
+	"sync"
+
+	"versadep/internal/codec"
+	"versadep/internal/transport"
+	"versadep/internal/vtime"
+)
+
+// Wire is the client ORB's view of its transport connection. The baseline
+// uses DirectWire (point-to-point, like a GIOP TCP connection); the
+// interceptor package substitutes implementations that add interception
+// costs or redirect onto group communication. Invoke never knows the
+// difference — the transparency property of library interposition.
+type Wire interface {
+	// Send transmits encoded request bytes at virtual time sentAt with
+	// the costs accumulated so far.
+	Send(reqBytes []byte, sentAt vtime.Time, led vtime.Ledger) error
+	// Recv returns the inbound reply stream.
+	Recv() <-chan WireReply
+	// Close releases the wire.
+	Close() error
+}
+
+// WireReply is one reply arriving at the client.
+type WireReply struct {
+	Bytes  []byte
+	VTime  vtime.Time
+	Ledger vtime.Ledger
+}
+
+// Envelope wraps VIOP bytes with their virtual timing context when they
+// travel point-to-point (the GIOP service-context analogue): the receiver
+// needs the sender's accumulated ledger and virtual send instant, which raw
+// VIOP does not carry.
+type Envelope struct {
+	VT     vtime.Time
+	Ledger vtime.Ledger
+	Bytes  []byte
+}
+
+// EncodeEnvelope serializes an envelope.
+func EncodeEnvelope(env *Envelope) []byte {
+	e := codec.NewEncoder(48 + len(env.Bytes))
+	e.PutInt64(int64(env.VT))
+	slots := env.Ledger.Slots()
+	e.PutUint32(uint32(len(slots)))
+	for _, d := range slots {
+		e.PutInt64(int64(d))
+	}
+	e.PutBytes(env.Bytes)
+	return e.Bytes()
+}
+
+// DecodeEnvelope parses an envelope.
+func DecodeEnvelope(b []byte) (*Envelope, error) {
+	d := codec.NewDecoder(b)
+	vt, err := d.Int64()
+	if err != nil {
+		return nil, err
+	}
+	var env Envelope
+	env.VT = vtime.Time(vt)
+	n, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(n) > uint64(d.Remaining()) {
+		return nil, codec.ErrTooLarge
+	}
+	slots := env.Ledger.Slots()
+	for i := uint32(0); i < n; i++ {
+		v, err := d.Int64()
+		if err != nil {
+			return nil, err
+		}
+		if int(i) < len(slots) {
+			slots[i] = vtime.Duration(v)
+		}
+	}
+	if env.Bytes, err = d.BytesCopy(); err != nil {
+		return nil, err
+	}
+	return &env, nil
+}
+
+// DirectWire is the unreplicated point-to-point connection to one server
+// (the paper's "no interceptor" baseline). Wire time on this path is
+// charged to the ORB component: the baseline measurement in Figure 4 has no
+// group-communication layer to attribute it to.
+type DirectWire struct {
+	conn   transport.Conn
+	server string
+	model  vtime.CostModel
+
+	mu     sync.Mutex
+	out    chan WireReply
+	closed bool
+}
+
+var _ Wire = (*DirectWire)(nil)
+
+// NewDirectWire creates a wire from conn to the server address. The caller
+// must route inbound ProtoVIOP messages to HandleTransport.
+func NewDirectWire(conn transport.Conn, server string, model vtime.CostModel) *DirectWire {
+	return &DirectWire{
+		conn:   conn,
+		server: server,
+		model:  model,
+		out:    make(chan WireReply, 64),
+	}
+}
+
+// Send transmits the request inside a timing envelope.
+func (w *DirectWire) Send(reqBytes []byte, sentAt vtime.Time, led vtime.Ledger) error {
+	env := &Envelope{VT: sentAt, Ledger: led, Bytes: reqBytes}
+	return w.conn.Send(w.server, EncodeEnvelope(env), sentAt)
+}
+
+// HandleTransport ingests an inbound reply message.
+func (w *DirectWire) HandleTransport(msg transport.Message) {
+	env, err := DecodeEnvelope(msg.Payload)
+	if err != nil {
+		return
+	}
+	led := env.Ledger
+	vt := env.VT
+	if msg.ArriveAt >= msg.SentAt && msg.SentAt == env.VT {
+		led.Charge(vtime.ComponentORB, msg.ArriveAt.Sub(msg.SentAt))
+		vt = msg.ArriveAt
+	}
+	w.mu.Lock()
+	closed := w.closed
+	w.mu.Unlock()
+	if closed {
+		return
+	}
+	select {
+	case w.out <- WireReply{Bytes: env.Bytes, VTime: vt, Ledger: led}:
+	default:
+		// A full buffer means the client stopped consuming; dropping is
+		// safe (the client retransmits).
+	}
+}
+
+// Recv returns the reply stream.
+func (w *DirectWire) Recv() <-chan WireReply { return w.out }
+
+// Close marks the wire closed.
+func (w *DirectWire) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.closed = true
+	return nil
+}

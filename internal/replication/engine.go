@@ -1,0 +1,849 @@
+package replication
+
+import (
+	"versadep/internal/gcs"
+	"versadep/internal/orb"
+	"versadep/internal/vtime"
+)
+
+// Checkpointable is the application's state-capture interface. The paper
+// replicates at the process level (§3.1): one State/Restore pair covers all
+// servants the process hosts, so they recover as a unit.
+type Checkpointable interface {
+	// State returns a serialized snapshot of the full application state.
+	State() []byte
+	// Restore replaces the application state with a snapshot.
+	Restore(state []byte) error
+}
+
+// AdaptInput is what an adaptation policy sees after each request delivery.
+// Every field is derived from the agreed stream, so every replica computes
+// identical inputs and reaches identical decisions — the paper's
+// deterministic distributed adaptation over replicated state.
+type AdaptInput struct {
+	// Rate is the request arrival rate (requests per virtual second)
+	// over the engine's sliding window.
+	Rate float64
+	// Style is the current replication style.
+	Style Style
+	// Replicas is the current group size.
+	Replicas int
+	// Metrics is the replicated system-state object: per-replica
+	// monitored values published with PublishMetrics.
+	Metrics map[string]map[string]float64
+}
+
+// AdaptPolicy decides whether to switch styles. Returning (target, true)
+// initiates a switch; policies must be deterministic functions of their
+// input.
+type AdaptPolicy func(in AdaptInput) (Style, bool)
+
+// NoticeKind discriminates engine notifications.
+type NoticeKind uint8
+
+// Notice kinds.
+const (
+	// NoticeSwitchStart fires when a switch message is delivered.
+	NoticeSwitchStart NoticeKind = iota + 1
+	// NoticeSwitchDone fires when the switch completes at this replica;
+	// Delay is the virtual time the switch took.
+	NoticeSwitchDone
+	// NoticeCheckpoint fires when this replica multicasts a checkpoint.
+	NoticeCheckpoint
+	// NoticeFailover fires when this replica becomes primary after a
+	// crash; Delay is the virtual replay/restore time.
+	NoticeFailover
+	// NoticeRequest fires after every request delivery (executed or
+	// logged).
+	NoticeRequest
+)
+
+// Notice is an engine observation delivered to the configured observer.
+type Notice struct {
+	Kind NoticeKind
+	// Addr identifies the reporting replica.
+	Addr     string
+	VT       vtime.Time
+	Delay    vtime.Duration
+	Style    Style
+	Executed bool
+}
+
+// Stats summarizes a replica's activity.
+type Stats struct {
+	RequestsExecuted int
+	RequestsLogged   int
+	RepliesResent    int
+	Checkpoints      int
+	Switches         int
+	Failovers        int
+	LastSwitchDelay  vtime.Duration
+	Rate             float64
+	Style            Style
+	Role             Role
+	Synced           bool
+}
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Style is the initial replication style.
+	Style Style
+	// CheckpointEvery is the number of executed requests between
+	// checkpoints in the passive styles (the paper's checkpointing
+	// frequency knob). Zero disables periodic checkpoints.
+	CheckpointEvery int
+	// Model is the virtual-time cost model.
+	Model vtime.CostModel
+	// State is the application's checkpoint interface.
+	State Checkpointable
+	// Adapt, if set, is evaluated after every request delivery.
+	Adapt AdaptPolicy
+	// RateWindow is the number of requests in the arrival-rate sliding
+	// window (default 32).
+	RateWindow int
+	// Observer, if set, receives notices. It is called on the engine
+	// goroutine and must not block.
+	Observer func(Notice)
+	// CacheDepth is how many replies are retained per client for
+	// duplicate suppression (default 8).
+	CacheDepth int
+}
+
+type logEntry struct {
+	viop   []byte
+	seq    uint64 // global agreed-stream sequence number
+	sentVT vtime.Time
+}
+
+// ckptKey matches a checkpoint marker with its bulk state transfer.
+type ckptKey struct {
+	sender string
+	serial uint64
+}
+
+// pendingMarker is a checkpoint marker awaiting its state bytes.
+type pendingMarker struct {
+	msg *Msg
+	vt  vtime.Time
+}
+
+type switchState struct {
+	id      uint64
+	target  Style
+	startVT vtime.Time
+	// awaitingFinal is true while a passive→active switch waits for the
+	// primary's closing checkpoint (Figure 5, case 1).
+	awaitingFinal bool
+	// oldPrimary is the primary that owes the closing checkpoint.
+	oldPrimary string
+}
+
+// Engine is one replica's replication machinery: the middle layer of the
+// paper's replicator stack. It consumes the group member's event stream
+// exclusively.
+type Engine struct {
+	member  *gcs.Member
+	adapter *orb.Adapter
+	cfg     Config
+	cpu     vtime.Server
+
+	cmds chan func()
+	stop chan struct{}
+	done chan struct{}
+
+	// owned by the run goroutine:
+	style     Style
+	view      gcs.View
+	prevView  gcs.View
+	synced    bool
+	switching *switchState
+
+	log         []logEntry
+	lastExecSeq uint64 // stream position of the last executed request
+	lastCkpt    *Msg   // retained state for cold-passive failover
+
+	replyCache map[string]map[uint64][]byte
+	highExec   map[string]uint64
+
+	ckptCounter     int
+	ckptSerial      uint64
+	pendMarkers     map[ckptKey]*pendingMarker
+	pendStates      map[ckptKey]*Msg
+	rateWin         []vtime.Time
+	sysState        map[string]map[string]float64
+	switchRequested Style
+	stats           Stats
+}
+
+// NewEngine starts a replica engine on member. The adapter carries the
+// registered servants; cfg.State captures their collective state.
+func NewEngine(member *gcs.Member, adapter *orb.Adapter, cfg Config) *Engine {
+	if cfg.RateWindow <= 0 {
+		cfg.RateWindow = 32
+	}
+	if cfg.CacheDepth <= 0 {
+		cfg.CacheDepth = 8
+	}
+	if cfg.Style == 0 {
+		cfg.Style = Active
+	}
+	e := &Engine{
+		member:      member,
+		adapter:     adapter,
+		cfg:         cfg,
+		cmds:        make(chan func()),
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
+		style:       cfg.Style,
+		synced:      true, // bootstrap members are synced; joiners reset below
+		replyCache:  make(map[string]map[uint64][]byte),
+		highExec:    make(map[string]uint64),
+		sysState:    make(map[string]map[string]float64),
+		pendMarkers: make(map[ckptKey]*pendingMarker),
+		pendStates:  make(map[ckptKey]*Msg),
+	}
+	go e.run()
+	return e
+}
+
+// Addr returns the replica's group address.
+func (e *Engine) Addr() string { return e.member.Addr() }
+
+// Stop shuts the engine down (the member keeps running; stop it
+// separately or via the replicator node).
+func (e *Engine) Stop() {
+	select {
+	case <-e.stop:
+		return
+	default:
+	}
+	close(e.stop)
+	<-e.done
+}
+
+func (e *Engine) do(fn func()) {
+	donec := make(chan struct{})
+	select {
+	case e.cmds <- func() { fn(); close(donec) }:
+		<-donec
+	case <-e.stop:
+	}
+}
+
+// Style returns the current replication style.
+func (e *Engine) Style() Style {
+	var s Style
+	e.do(func() { s = e.style })
+	return s
+}
+
+// Role returns this replica's current role.
+func (e *Engine) Role() Role {
+	var r Role
+	e.do(func() { r = e.role() })
+	return r
+}
+
+// StatsSnapshot returns current statistics.
+func (e *Engine) StatsSnapshot() Stats {
+	var s Stats
+	e.do(func() {
+		s = e.stats
+		s.Rate = e.rate()
+		s.Style = e.style
+		s.Role = e.role()
+		s.Synced = e.synced
+	})
+	return s
+}
+
+// SystemState returns a copy of the identically-replicated system-state
+// object (§3.1): per-replica metric maps accumulated from KindMetrics
+// messages. All replicas hold identical copies at the same stream
+// position, which is what makes policy decisions over it deterministic.
+func (e *Engine) SystemState() map[string]map[string]float64 {
+	out := make(map[string]map[string]float64)
+	e.do(func() {
+		for addr, m := range e.sysState {
+			cp := make(map[string]float64, len(m))
+			for k, v := range m {
+				cp[k] = v
+			}
+			out[addr] = cp
+		}
+	})
+	return out
+}
+
+// RequestSwitch initiates a style switch (the low-level replication-style
+// knob, usable at runtime). The switch message travels the agreed stream;
+// duplicates and no-op switches are discarded on delivery.
+func (e *Engine) RequestSwitch(target Style, now vtime.Time) {
+	e.do(func() {
+		if e.style == target {
+			return
+		}
+		msg := Encode(&Msg{Kind: KindSwitch, Style: target})
+		_ = e.member.Multicast(msg, gcs.Agreed, now, vtime.Ledger{})
+	})
+}
+
+// SetCheckpointEvery retunes the checkpointing-frequency knob at runtime.
+// The new value travels the agreed stream, so every replica adopts it at
+// the same position (and a failed-over primary checkpoints at the rate the
+// group agreed on, not a stale local one).
+func (e *Engine) SetCheckpointEvery(every int, now vtime.Time) {
+	if every <= 0 {
+		return
+	}
+	e.do(func() {
+		msg := Encode(&Msg{Kind: KindConfig, CheckpointEvery: uint32(every)})
+		_ = e.member.Multicast(msg, gcs.Agreed, now, vtime.Ledger{})
+	})
+}
+
+// CheckpointEvery reports the current checkpointing frequency.
+func (e *Engine) CheckpointEvery() int {
+	var out int
+	e.do(func() { out = e.cfg.CheckpointEvery })
+	return out
+}
+
+// PublishMetrics multicasts this replica's monitored values into the
+// replicated system-state object.
+func (e *Engine) PublishMetrics(metrics map[string]float64, now vtime.Time) {
+	e.do(func() {
+		msg := Encode(&Msg{Kind: KindMetrics, Metrics: metrics})
+		_ = e.member.Multicast(msg, gcs.Agreed, now, vtime.Ledger{})
+	})
+}
+
+// ---- run loop ----
+
+func (e *Engine) run() {
+	defer close(e.done)
+	for {
+		select {
+		case <-e.stop:
+			return
+		case fn := <-e.cmds:
+			fn()
+		case ev, ok := <-e.member.Out():
+			if !ok {
+				return
+			}
+			e.handleEvent(ev)
+		}
+	}
+}
+
+func (e *Engine) handleEvent(ev gcs.Event) {
+	switch ev.Kind {
+	case gcs.EventView:
+		e.handleView(ev)
+	case gcs.EventDirect:
+		msg, err := Decode(ev.Payload)
+		if err != nil || msg.Kind != KindState {
+			return
+		}
+		e.pendStates[ckptKey{ev.Sender, msg.CkptSerial}] = msg
+		e.tryApplyCheckpoint(ev.Sender, msg.CkptSerial)
+	case gcs.EventMessage:
+		msg, err := Decode(ev.Payload)
+		if err != nil {
+			return
+		}
+		switch msg.Kind {
+		case KindRequest:
+			e.handleRequest(ev, msg)
+		case KindCheckpoint:
+			e.handleCheckpoint(ev, msg)
+		case KindSwitch:
+			e.handleSwitch(ev, msg)
+		case KindMetrics:
+			e.handleMetrics(ev, msg)
+		case KindConfig:
+			if msg.CheckpointEvery > 0 {
+				e.cfg.CheckpointEvery = int(msg.CheckpointEvery)
+			}
+		}
+	}
+}
+
+// role computes this replica's duty. Rank 0 of the view is the primary in
+// the passive styles and the designated state leader (checkpoint source for
+// joiners) in all styles.
+func (e *Engine) role() Role {
+	if e.view.Coordinator() == e.Addr() {
+		return RolePrimary
+	}
+	return RoleBackup
+}
+
+func (e *Engine) isExecutor() bool {
+	if !e.synced {
+		return false
+	}
+	if e.style.AllExecute() {
+		return true
+	}
+	return e.role() == RolePrimary
+}
+
+// repliesToClients reports whether this replica transmits replies: all
+// replicas in active, the leader only in semi-active, the primary only in
+// the passive styles. Non-replying executors still cache replies so they
+// can serve retries after a leader crash.
+func (e *Engine) repliesToClients() bool {
+	if e.style == Active {
+		return true
+	}
+	return e.role() == RolePrimary
+}
+
+// ---- view handling ----
+
+func (e *Engine) handleView(ev gcs.Event) {
+	prev := e.view
+	e.view = ev.View
+	e.prevView = prev
+
+	for key := range e.pendMarkers {
+		if !ev.View.Contains(key.sender) {
+			delete(e.pendMarkers, key)
+		}
+	}
+	for key := range e.pendStates {
+		if !ev.View.Contains(key.sender) {
+			delete(e.pendStates, key)
+		}
+	}
+
+	if ev.Joined && len(ev.View.Members) > 1 {
+		// We joined a running group: wait for a state transfer.
+		e.synced = false
+		e.log = nil
+	}
+
+	leader := e.view.Coordinator() == e.Addr()
+
+	// Primary failover: the passive primary crashed and we are next.
+	prevPrimary := prev.Coordinator()
+	if leader && e.synced && e.style.IsPassive() &&
+		prevPrimary != "" && prevPrimary != e.Addr() && !e.view.Contains(prevPrimary) {
+		e.failover(ev.VTime)
+	}
+
+	// Mid-switch primary crash (Figure 5, case 1 crash branch): the
+	// closing checkpoint will never come; every synced survivor replays
+	// its outstanding log and goes active.
+	if e.switching != nil && e.switching.awaitingFinal &&
+		e.switching.oldPrimary != "" && !e.view.Contains(e.switching.oldPrimary) {
+		sw := e.switching
+		e.switching = nil
+		if e.synced {
+			e.replayLog(ev.VTime)
+		}
+		e.style = sw.target
+		e.stats.LastSwitchDelay = ev.VTime.Sub(sw.startVT)
+		e.notify(Notice{Kind: NoticeSwitchDone, VT: ev.VTime, Delay: e.stats.LastSwitchDelay, Style: e.style})
+	}
+
+	// State transfer for joiners: the leader checkpoints the group state
+	// so new members can initialize.
+	if leader && e.synced {
+		for _, m := range e.view.Members {
+			if m != e.Addr() && !prev.Contains(m) && prev.ID != 0 {
+				e.takeCheckpoint(ev.VTime, false, 0)
+				break
+			}
+		}
+	}
+}
+
+// failover promotes this replica to primary: cold replicas pay the
+// cold-start and restore costs first, then the logged requests since the
+// last checkpoint are replayed (Figure 5's rollback).
+func (e *Engine) failover(vt vtime.Time) {
+	start := vt
+	if e.style == ColdPassive {
+		vt = e.cpu.Execute(vt, e.cfg.Model.ColdStart)
+		if e.lastCkpt != nil {
+			vt = e.cpu.Execute(vt, vtime.Duration(len(e.lastCkpt.State))*e.cfg.Model.CheckpointPerByte)
+			_ = e.cfg.State.Restore(e.lastCkpt.State)
+			e.setCache(e.lastCkpt.Cache)
+		}
+	}
+	vt = e.replayLog(vt)
+	e.stats.Failovers++
+	e.notify(Notice{Kind: NoticeFailover, VT: vt, Delay: vt.Sub(start), Style: e.style})
+}
+
+// replayLog executes every logged request, caching and re-sending replies
+// (duplicates are suppressed client-side). Returns the virtual completion
+// time.
+func (e *Engine) replayLog(vt vtime.Time) vtime.Time {
+	entries := e.log
+	e.log = nil
+	for _, le := range entries {
+		cid, rid, err := orb.PeekRequestID(le.viop)
+		if err != nil {
+			continue
+		}
+		if rid <= e.highExec[cid] {
+			if cached, ok := e.replyCache[cid][rid]; ok {
+				_ = e.member.SendDirect(cid, cached, vt, vtime.Ledger{})
+			}
+			continue
+		}
+		vt = e.execute(le.viop, cid, rid, vt, vtime.Ledger{})
+		e.lastExecSeq = le.seq
+	}
+	return vt
+}
+
+// ---- request handling ----
+
+func (e *Engine) handleRequest(ev gcs.Event, msg *Msg) {
+	cid, rid, err := orb.PeekRequestID(msg.Viop)
+	if err != nil {
+		return
+	}
+	e.recordRate(ev.SentVT)
+
+	executor := e.isExecutor()
+	// During a passive→active switch window the old roles persist until
+	// the closing checkpoint (the primary keeps serving; backups keep
+	// logging).
+	if rid <= e.highExec[cid] {
+		// Duplicate (client retry): the replying executor resends the
+		// cached reply.
+		if executor && e.repliesToClients() {
+			if cached, ok := e.replyCache[cid][rid]; ok {
+				vt := e.cpu.Execute(ev.VTime, e.cfg.Model.Intercept)
+				_ = e.member.SendDirect(cid, cached, vt, ev.Ledger)
+				e.stats.RepliesResent++
+			}
+		}
+		return
+	}
+
+	if executor {
+		led := ev.Ledger
+		led.Charge(vtime.ComponentReplicator, e.cfg.Model.Intercept)
+		vt := e.cpu.Execute(ev.VTime, e.cfg.Model.Intercept)
+		vt = e.executeWithLedger(msg.Viop, cid, rid, vt, led)
+		e.lastExecSeq = ev.Seq
+		e.notify(Notice{Kind: NoticeRequest, VT: vt, Style: e.style, Executed: true})
+
+		if e.style.IsPassive() && e.role() == RolePrimary &&
+			e.cfg.CheckpointEvery > 0 && len(e.view.Members) > 1 {
+			e.ckptCounter++
+			if e.ckptCounter >= e.cfg.CheckpointEvery {
+				e.takeCheckpoint(vt, false, 0)
+			}
+		}
+	} else {
+		// Backups and unsynced joiners log; a joiner's log is replayed
+		// against the checkpoint it is waiting for.
+		e.log = append(e.log, logEntry{viop: msg.Viop, seq: ev.Seq, sentVT: ev.SentVT})
+		e.stats.RequestsLogged++
+		e.notify(Notice{Kind: NoticeRequest, VT: ev.VTime, Style: e.style, Executed: false})
+	}
+
+	e.maybeAdapt(ev.VTime)
+}
+
+// executeWithLedger runs one request through the adapter, caches the
+// reply, and transmits it if this replica is the replying one.
+func (e *Engine) executeWithLedger(viop []byte, cid string, rid uint64, vt vtime.Time, led vtime.Ledger) vtime.Time {
+	res, err := e.adapter.HandleRequest(&e.cpu, viop, vt, led)
+	if err != nil {
+		return vt
+	}
+	vt = e.cpu.Execute(res.DoneVT, e.cfg.Model.Intercept)
+	outLed := res.Ledger
+	outLed.Charge(vtime.ComponentReplicator, e.cfg.Model.Intercept)
+	e.cacheReply(cid, rid, res.ReplyBytes)
+	e.stats.RequestsExecuted++
+	if e.repliesToClients() {
+		_ = e.member.SendDirect(cid, res.ReplyBytes, vt, outLed)
+	}
+	return vt
+}
+
+// execute is executeWithLedger with a fresh ledger (replay path).
+func (e *Engine) execute(viop []byte, cid string, rid uint64, vt vtime.Time, led vtime.Ledger) vtime.Time {
+	led.Charge(vtime.ComponentReplicator, e.cfg.Model.Intercept)
+	vt = e.cpu.Execute(vt, e.cfg.Model.Intercept)
+	return e.executeWithLedger(viop, cid, rid, vt, led)
+}
+
+func (e *Engine) cacheReply(cid string, rid uint64, reply []byte) {
+	cache := e.replyCache[cid]
+	if cache == nil {
+		cache = make(map[uint64][]byte)
+		e.replyCache[cid] = cache
+	}
+	cache[rid] = reply
+	if rid > e.highExec[cid] {
+		e.highExec[cid] = rid
+	}
+	for old := range cache {
+		if old+uint64(e.cfg.CacheDepth) <= rid {
+			delete(cache, old)
+		}
+	}
+}
+
+// ---- checkpoints ----
+
+// takeCheckpoint captures the application state, multicasts a small
+// ordering marker on the agreed stream, and ships the bulk state
+// point-to-point to every other member. The capture and per-backup
+// marshaling costs (the paper's quiescence overhead) occupy the primary's
+// CPU, which is what slows warm-passive replication under load; the
+// per-backup transfers are what make passive bandwidth grow with the
+// redundancy level.
+func (e *Engine) takeCheckpoint(vt vtime.Time, final bool, switchID uint64) {
+	state := e.cfg.State.State()
+	backups := len(e.view.Members) - 1
+	cost := e.cfg.Model.CheckpointCost(len(state))
+	if backups > 0 {
+		cost += vtime.Duration(backups*len(state)) * e.cfg.Model.StateMarshalPerByte
+	}
+	vt = e.cpu.Execute(vt, cost)
+
+	cache := make([]CacheEntry, 0, len(e.replyCache))
+	for cid, m := range e.replyCache {
+		high := e.highExec[cid]
+		if reply, ok := m[high]; ok {
+			cache = append(cache, CacheEntry{Client: cid, ReqID: high, Reply: reply})
+		}
+	}
+	e.ckptSerial++
+	marker := &Msg{
+		Kind:       KindCheckpoint,
+		Cache:      cache,
+		Final:      final,
+		SwitchID:   switchID,
+		CoveredSeq: e.lastExecSeq,
+		CkptSerial: e.ckptSerial,
+	}
+	var led vtime.Ledger
+	led.Charge(vtime.ComponentReplicator, cost)
+	_ = e.member.Multicast(Encode(marker), gcs.Agreed, vt, led)
+
+	stateMsg := Encode(&Msg{Kind: KindState, State: state, CoveredSeq: e.lastExecSeq, CkptSerial: e.ckptSerial})
+	for _, m := range e.view.Members {
+		if m != e.Addr() {
+			_ = e.member.SendDirect(m, stateMsg, vt, vtime.Ledger{})
+		}
+	}
+	e.ckptCounter = 0
+	e.stats.Checkpoints++
+	e.notify(Notice{Kind: NoticeCheckpoint, VT: vt, Style: e.style})
+}
+
+// handleCheckpoint processes a checkpoint marker from the agreed stream.
+// The marker fixes the checkpoint's position; the bulk state arrives
+// point-to-point and is matched by (sender, serial).
+func (e *Engine) handleCheckpoint(ev gcs.Event, msg *Msg) {
+	if ev.Sender == e.Addr() {
+		// Our own marker: our state is already current. A final marker
+		// completes the switch on the primary side.
+		if msg.Final && e.switching != nil && e.switching.awaitingFinal {
+			sw := e.switching
+			e.switching = nil
+			e.style = sw.target
+			e.stats.LastSwitchDelay = ev.VTime.Sub(sw.startVT)
+			e.notify(Notice{Kind: NoticeSwitchDone, VT: ev.VTime, Delay: e.stats.LastSwitchDelay, Style: e.style})
+		}
+		return
+	}
+	e.pendMarkers[ckptKey{ev.Sender, msg.CkptSerial}] = &pendingMarker{msg: msg, vt: ev.VTime}
+	e.tryApplyCheckpoint(ev.Sender, msg.CkptSerial)
+}
+
+// tryApplyCheckpoint applies a checkpoint once both its marker and its
+// state have arrived.
+func (e *Engine) tryApplyCheckpoint(sender string, serial uint64) {
+	key := ckptKey{sender, serial}
+	pm := e.pendMarkers[key]
+	st := e.pendStates[key]
+	if pm == nil || st == nil {
+		return
+	}
+	delete(e.pendMarkers, key)
+	delete(e.pendStates, key)
+	marker := pm.msg
+
+	if e.style == ColdPassive && e.synced {
+		// Cold backups store but do not apply; the log keeps only
+		// requests the stored state does not cover.
+		combined := *marker
+		combined.State = st.State
+		e.lastCkpt = &combined
+		e.trimLog(marker.CoveredSeq)
+	} else if !e.isExecutor() || !e.synced {
+		// Warm backups and joiners apply the state, then trim the log to
+		// the requests the snapshot does not cover (the marker may have
+		// been ordered after requests that were already in the sequencer
+		// pipeline when the state was captured).
+		vt := e.cpu.Execute(pm.vt, vtime.Duration(len(st.State))*e.cfg.Model.CheckpointPerByte)
+		_ = e.cfg.State.Restore(st.State)
+		e.setCache(marker.Cache)
+		e.lastExecSeq = marker.CoveredSeq
+		e.trimLog(marker.CoveredSeq)
+		wasSynced := e.synced
+		e.synced = true
+		if e.style.AllExecute() && (!wasSynced || marker.Final) {
+			// A joiner to an active group (or a backup completing a
+			// passive→active switch below) must catch up to the stream
+			// head before executing live traffic.
+			e.replayLog(vt)
+		}
+	}
+
+	// Closing checkpoint of a passive→active switch (Figure 5 case 1):
+	// backups replay the uncovered tail of their logs before going
+	// active.
+	if marker.Final && e.switching != nil && e.switching.awaitingFinal {
+		sw := e.switching
+		e.switching = nil
+		e.style = sw.target
+		if e.synced {
+			e.replayLog(pm.vt)
+		}
+		e.stats.LastSwitchDelay = pm.vt.Sub(sw.startVT)
+		e.notify(Notice{Kind: NoticeSwitchDone, VT: pm.vt, Delay: e.stats.LastSwitchDelay, Style: e.style})
+	}
+}
+
+// trimLog drops log entries covered by a checkpoint.
+func (e *Engine) trimLog(coveredSeq uint64) {
+	keep := e.log[:0]
+	for _, le := range e.log {
+		if le.seq > coveredSeq {
+			keep = append(keep, le)
+		}
+	}
+	e.log = keep
+}
+
+func (e *Engine) setCache(entries []CacheEntry) {
+	e.replyCache = make(map[string]map[uint64][]byte, len(entries))
+	e.highExec = make(map[string]uint64, len(entries))
+	for _, c := range entries {
+		e.replyCache[c.Client] = map[uint64][]byte{c.ReqID: c.Reply}
+		if c.ReqID > e.highExec[c.Client] {
+			e.highExec[c.Client] = c.ReqID
+		}
+	}
+}
+
+// ---- switches (Figure 5) ----
+
+func (e *Engine) handleSwitch(ev gcs.Event, msg *Msg) {
+	target := msg.Style
+	e.switchRequested = 0
+	if e.switching != nil || target == e.style || target == 0 {
+		return // duplicate or no-op switch: discarded (Figure 5, step I)
+	}
+	e.stats.Switches++
+	e.notify(Notice{Kind: NoticeSwitchStart, VT: ev.VTime, Style: target})
+
+	switch {
+	case e.style.IsPassive() && target.AllExecute():
+		// Case 1: the primary owes one more checkpoint; backups wait for
+		// it before executing (Figure 5, step II case 1).
+		e.switching = &switchState{
+			id:            ev.Seq,
+			target:        target,
+			startVT:       ev.VTime,
+			awaitingFinal: true,
+			oldPrimary:    e.view.Coordinator(),
+		}
+		if e.synced && e.role() == RolePrimary {
+			e.takeCheckpoint(ev.VTime, true, ev.Seq)
+		}
+		if len(e.view.Members) == 1 {
+			// No backups to synchronize: the switch is immediate (the
+			// final checkpoint will still close it for bookkeeping).
+		}
+	case e.style.AllExecute() && target.IsPassive():
+		// Case 2: choose the new primary (deterministically: rank 0) and
+		// become passive at this point in the stream; there are no
+		// outstanding requests because the stream already ordered them.
+		e.style = target
+		e.ckptCounter = 0
+		e.stats.LastSwitchDelay = 0
+		e.notify(Notice{Kind: NoticeSwitchDone, VT: ev.VTime, Delay: 0, Style: e.style})
+	default:
+		// Executor-to-executor (active/semi-active) and passive-to-
+		// passive (warm/cold) switches are instantaneous: no state needs
+		// to move, only the reply/checkpoint duties change.
+		e.style = target
+		e.ckptCounter = 0
+		e.notify(Notice{Kind: NoticeSwitchDone, VT: ev.VTime, Delay: 0, Style: e.style})
+	}
+}
+
+// ---- metrics & adaptation ----
+
+func (e *Engine) handleMetrics(ev gcs.Event, msg *Msg) {
+	if msg.Metrics == nil {
+		return
+	}
+	e.sysState[ev.Sender] = msg.Metrics
+	e.maybeAdapt(ev.VTime)
+}
+
+func (e *Engine) recordRate(sentVT vtime.Time) {
+	e.rateWin = append(e.rateWin, sentVT)
+	if len(e.rateWin) > e.cfg.RateWindow {
+		e.rateWin = e.rateWin[len(e.rateWin)-e.cfg.RateWindow:]
+	}
+}
+
+// rate computes the deterministic arrival rate over the window, in
+// requests per virtual second.
+func (e *Engine) rate() float64 {
+	if len(e.rateWin) < 2 {
+		return 0
+	}
+	span := e.rateWin[len(e.rateWin)-1].Sub(e.rateWin[0])
+	if span <= 0 {
+		return 0
+	}
+	return float64(len(e.rateWin)-1) / span.Seconds()
+}
+
+func (e *Engine) maybeAdapt(vt vtime.Time) {
+	if e.cfg.Adapt == nil || e.switching != nil {
+		return
+	}
+	in := AdaptInput{
+		Rate:     e.rate(),
+		Style:    e.style,
+		Replicas: len(e.view.Members),
+		Metrics:  e.sysState,
+	}
+	target, ok := e.cfg.Adapt(in)
+	if !ok || target == e.style || target == e.switchRequested {
+		return
+	}
+	// Every replica reaches this decision at the same stream position;
+	// all may send the switch, and delivery-side dedup keeps one.
+	// switchRequested suppresses re-sending while ours is in flight.
+	e.switchRequested = target
+	msg := Encode(&Msg{Kind: KindSwitch, Style: target})
+	_ = e.member.Multicast(msg, gcs.Agreed, vt, vtime.Ledger{})
+}
+
+func (e *Engine) notify(n Notice) {
+	if e.cfg.Observer != nil {
+		n.Addr = e.Addr()
+		e.cfg.Observer(n)
+	}
+}

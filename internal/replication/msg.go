@@ -1,0 +1,199 @@
+package replication
+
+import (
+	"errors"
+	"sort"
+
+	"versadep/internal/codec"
+)
+
+// MsgKind discriminates the messages the replication layer exchanges over
+// the group's agreed stream.
+type MsgKind uint8
+
+// Replication message kinds.
+const (
+	// KindRequest wraps a client's VIOP request bytes (submitted through
+	// the interceptor's group wire).
+	KindRequest MsgKind = iota + 1
+	// KindCheckpoint carries the application state, the reply cache, and
+	// a switch marker when it is the final checkpoint of a passive→active
+	// switch.
+	KindCheckpoint
+	// KindSwitch announces a replication-style switch (Figure 5, step I).
+	KindSwitch
+	// KindMetrics carries one replica's monitored metrics into the
+	// identically-replicated system-state object (§3.1).
+	KindMetrics
+	// KindConfig retunes low-level knobs at runtime: a new checkpointing
+	// frequency travels the agreed stream so every replica adopts it at
+	// the same point (Table 1's checkpointing-frequency knob).
+	KindConfig
+	// KindState carries the bulk checkpoint state point-to-point from
+	// the primary to one backup. Its position in the request stream is
+	// fixed by the matching KindCheckpoint marker (same sender and
+	// CkptSerial) on the agreed stream; shipping the bulk bytes
+	// point-to-point is how Eternal/MEAD transfer state, and it makes
+	// checkpoint bandwidth proportional to the number of backups.
+	KindState
+)
+
+// Msg is the replication layer's envelope.
+type Msg struct {
+	Kind MsgKind
+	// Viop is the wrapped request bytes (KindRequest).
+	Viop []byte
+	// State is the application state (KindCheckpoint).
+	State []byte
+	// Cache is the reply cache snapshot (KindCheckpoint).
+	Cache []CacheEntry
+	// Style is the target style (KindSwitch).
+	Style Style
+	// SwitchID identifies a switch operation; the final checkpoint of a
+	// passive→active switch echoes it (KindSwitch, KindCheckpoint).
+	SwitchID uint64
+	// CoveredSeq is the global sequence number of the last request whose
+	// effect is included in State (KindCheckpoint). A checkpoint can be
+	// ordered after requests that entered the sequencer while it was
+	// being captured; receivers trim and replay their logs relative to
+	// CoveredSeq, not to the checkpoint's own stream position.
+	CoveredSeq uint64
+	// CkptSerial matches a KindCheckpoint marker with its KindState bulk
+	// transfer (monotone per primary).
+	CkptSerial uint64
+	// Final marks the closing checkpoint of a passive→active switch.
+	Final bool
+	// Metrics carries monitored values by name (KindMetrics).
+	Metrics map[string]float64
+	// CheckpointEvery is the new checkpointing frequency (KindConfig;
+	// zero leaves it unchanged).
+	CheckpointEvery uint32
+}
+
+// CacheEntry is one client's cached reply, transferred in checkpoints so a
+// new primary can answer retries of already-executed requests.
+type CacheEntry struct {
+	Client string
+	ReqID  uint64
+	Reply  []byte
+}
+
+// errBadMsg reports an undecodable replication envelope.
+var errBadMsg = errors.New("replication: bad message")
+
+// Encode serializes m.
+func Encode(m *Msg) []byte {
+	e := codec.NewEncoder(32 + len(m.Viop) + len(m.State))
+	e.PutUint8(uint8(m.Kind))
+	e.PutBytes(m.Viop)
+	e.PutBytes(m.State)
+	e.PutUint32(uint32(len(m.Cache)))
+	for _, c := range m.Cache {
+		e.PutString(c.Client)
+		e.PutUint64(c.ReqID)
+		e.PutBytes(c.Reply)
+	}
+	e.PutUint8(uint8(m.Style))
+	e.PutUint64(m.SwitchID)
+	e.PutUint64(m.CoveredSeq)
+	e.PutUint64(m.CkptSerial)
+	e.PutBool(m.Final)
+	e.PutUint32(m.CheckpointEvery)
+	// Metrics in sorted order for deterministic bytes.
+	keys := make([]string, 0, len(m.Metrics))
+	for k := range m.Metrics {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	e.PutUint32(uint32(len(keys)))
+	for _, k := range keys {
+		e.PutString(k)
+		e.PutFloat64(m.Metrics[k])
+	}
+	return e.Bytes()
+}
+
+// Decode parses a replication envelope.
+func Decode(b []byte) (*Msg, error) {
+	d := codec.NewDecoder(b)
+	var m Msg
+	kind, err := d.Uint8()
+	if err != nil {
+		return nil, errBadMsg
+	}
+	m.Kind = MsgKind(kind)
+	if m.Viop, err = d.BytesCopy(); err != nil {
+		return nil, err
+	}
+	if m.State, err = d.BytesCopy(); err != nil {
+		return nil, err
+	}
+	n, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(n) > uint64(d.Remaining()) {
+		return nil, codec.ErrTooLarge
+	}
+	m.Cache = make([]CacheEntry, 0, n)
+	for i := uint32(0); i < n; i++ {
+		var c CacheEntry
+		if c.Client, err = d.String(); err != nil {
+			return nil, err
+		}
+		if c.ReqID, err = d.Uint64(); err != nil {
+			return nil, err
+		}
+		if c.Reply, err = d.BytesCopy(); err != nil {
+			return nil, err
+		}
+		m.Cache = append(m.Cache, c)
+	}
+	st, err := d.Uint8()
+	if err != nil {
+		return nil, err
+	}
+	m.Style = Style(st)
+	if m.SwitchID, err = d.Uint64(); err != nil {
+		return nil, err
+	}
+	if m.CoveredSeq, err = d.Uint64(); err != nil {
+		return nil, err
+	}
+	if m.CkptSerial, err = d.Uint64(); err != nil {
+		return nil, err
+	}
+	if m.Final, err = d.Bool(); err != nil {
+		return nil, err
+	}
+	if m.CheckpointEvery, err = d.Uint32(); err != nil {
+		return nil, err
+	}
+	if n, err = d.Uint32(); err != nil {
+		return nil, err
+	}
+	if uint64(n) > uint64(d.Remaining()) {
+		return nil, codec.ErrTooLarge
+	}
+	if n > 0 {
+		m.Metrics = make(map[string]float64, n)
+		for i := uint32(0); i < n; i++ {
+			k, err := d.String()
+			if err != nil {
+				return nil, err
+			}
+			v, err := d.Float64()
+			if err != nil {
+				return nil, err
+			}
+			m.Metrics[k] = v
+		}
+	}
+	return &m, nil
+}
+
+// WrapRequest builds the envelope the interceptor submits for a client
+// request.
+func WrapRequest(viop []byte) []byte {
+	return Encode(&Msg{Kind: KindRequest, Viop: viop})
+}

@@ -1,0 +1,123 @@
+// Package replication implements the paper's tunable fault-tolerant
+// mechanisms: active replication (the state-machine approach), warm and
+// cold passive replication (primary-backup with periodic or
+// failover-time state transfer), checkpointing, request logging and
+// replay, recovery from replica and primary crashes — and, centrally,
+// the runtime protocol of Figure 5 that switches a running group between
+// active and passive replication without losing or reordering requests.
+//
+// All replica coordination rides the group communication substrate's
+// agreed (totally ordered) stream: client requests, checkpoints and
+// switch announcements are delivered in one total order at every
+// replica, identical across replicas, and view changes are consistently
+// ordered within that stream. This is what makes the switch protocol
+// tolerant to the crash of any replica, including mid-switch (§4.2).
+package replication
+
+import "fmt"
+
+// Style is a replication style: the paper's principal low-level knob.
+type Style uint8
+
+// Replication styles.
+const (
+	// Active replication ("state-machine approach"): every replica
+	// executes every request and replies; clients take the first reply
+	// (or vote). Fast response and recovery; k× the processing and
+	// reply bandwidth.
+	Active Style = iota + 1
+	// WarmPassive replication ("primary-backup"): the primary executes
+	// and replies; backups log requests and apply periodic checkpoints.
+	// Resource-frugal; slower under load (checkpoint quiescence) and
+	// slower to recover (replay).
+	WarmPassive
+	// ColdPassive replication: backups neither execute nor maintain hot
+	// state; at failover the new primary pays a cold-start cost, then
+	// restores the last checkpoint and replays the log.
+	ColdPassive
+	// SemiActive replication (the Delta-4 XPA leader-follower model the
+	// paper discusses in §6): every replica executes every request, but
+	// only the designated leader transmits replies. It combines active
+	// replication's instant failover (followers are hot) with passive
+	// replication's reply bandwidth — one of the "other replication
+	// styles" the paper plans beyond the two canonical ones (§3.1).
+	SemiActive
+)
+
+// String returns the style's name as used in experiment tables.
+func (s Style) String() string {
+	switch s {
+	case Active:
+		return "active"
+	case WarmPassive:
+		return "warm-passive"
+	case ColdPassive:
+		return "cold-passive"
+	case SemiActive:
+		return "semi-active"
+	default:
+		return fmt.Sprintf("style(%d)", uint8(s))
+	}
+}
+
+// Short returns the single-letter tag the paper uses in Table 2.
+func (s Style) Short() string {
+	switch s {
+	case Active:
+		return "A"
+	case WarmPassive, ColdPassive:
+		return "P"
+	case SemiActive:
+		return "SA"
+	default:
+		return "?"
+	}
+}
+
+// ParseStyle converts a name produced by String back to a Style.
+func ParseStyle(s string) (Style, error) {
+	switch s {
+	case "active", "A":
+		return Active, nil
+	case "warm-passive", "P", "passive":
+		return WarmPassive, nil
+	case "cold-passive":
+		return ColdPassive, nil
+	case "semi-active", "SA":
+		return SemiActive, nil
+	default:
+		return 0, fmt.Errorf("replication: unknown style %q", s)
+	}
+}
+
+// IsPassive reports whether the style has a primary/backup role split
+// with backups that do not execute.
+func (s Style) IsPassive() bool { return s == WarmPassive || s == ColdPassive }
+
+// AllExecute reports whether every replica executes every request (active
+// and semi-active replication).
+func (s Style) AllExecute() bool { return s == Active || s == SemiActive }
+
+// Role is a replica's current duty under the active style both roles
+// coincide (everyone executes).
+type Role uint8
+
+// Replica roles.
+const (
+	// RolePrimary executes requests and sends replies.
+	RolePrimary Role = iota + 1
+	// RoleBackup logs requests and applies checkpoints.
+	RoleBackup
+)
+
+// String returns the role's name.
+func (r Role) String() string {
+	switch r {
+	case RolePrimary:
+		return "primary"
+	case RoleBackup:
+		return "backup"
+	default:
+		return fmt.Sprintf("role(%d)", uint8(r))
+	}
+}

@@ -1,0 +1,218 @@
+// Package replicator composes the paper's three-layer replicator stack
+// (Figure 2) into runnable nodes:
+//
+//	┌───────────────────────────────┐
+//	│ interface to application/ORB  │  internal/orb + internal/interceptor
+//	├───────────────────────────────┤
+//	│ tunable replication mechanisms│  internal/replication
+//	├───────────────────────────────┤
+//	│ interface to group comm.      │  internal/gcs
+//	└───────────────────────────────┘
+//
+// A ReplicaNode is one replicated server process: group member + engine +
+// object adapter on one transport endpoint. A ClientNode is one client
+// process: ORB client over an interposed group wire. The knobs layer and
+// the evaluation harness manipulate whole nodes (add/remove replicas,
+// switch styles, crash processes).
+package replicator
+
+import (
+	"fmt"
+	"time"
+
+	"versadep/internal/codec"
+	"versadep/internal/gcs"
+	"versadep/internal/interceptor"
+	"versadep/internal/orb"
+	"versadep/internal/replication"
+	"versadep/internal/transport"
+	"versadep/internal/vtime"
+)
+
+// ReplicaNode is a replicated server process.
+type ReplicaNode struct {
+	demux   *transport.Demux
+	member  *gcs.Member
+	adapter *orb.Adapter
+	engine  *replication.Engine
+}
+
+// ReplicaConfig bundles the per-replica configuration.
+type ReplicaConfig struct {
+	// Seeds are group members to join through; empty bootstraps a group.
+	Seeds []string
+	// GCS overrides the group-communication configuration (optional;
+	// Seeds and Model are filled in from this config).
+	GCS *gcs.Config
+	// Replication is the engine configuration (style, checkpoints,
+	// state, adaptation policy, observer).
+	Replication replication.Config
+}
+
+// StartReplica launches a replica node on ep.
+func StartReplica(ep transport.MultiEndpoint, cfg ReplicaConfig) *ReplicaNode {
+	d := transport.NewDemux(ep)
+
+	gcfg := gcs.DefaultConfig()
+	if cfg.GCS != nil {
+		gcfg = *cfg.GCS
+	}
+	gcfg.Seeds = cfg.Seeds
+	gcfg.Model = cfg.Replication.Model
+	if gcfg.Seed == 0 {
+		gcfg.Seed = uint64(len(ep.Addr())) + 11
+	}
+
+	member := gcs.Open(d.Conn(transport.ProtoGCS), d.Conn(transport.ProtoGroupClient), gcfg)
+	d.Handle(transport.ProtoGCS, member.HandleTransport)
+	// Replicas also receive point-to-point traffic addressed to them as
+	// direct-delivery targets (bulk checkpoint state from the primary).
+	d.Handle(transport.ProtoGroupClient, member.HandleTransport)
+
+	adapter := orb.NewAdapter(cfg.Replication.Model)
+	engine := replication.NewEngine(member, adapter, cfg.Replication)
+
+	d.Start()
+	return &ReplicaNode{demux: d, member: member, adapter: adapter, engine: engine}
+}
+
+// Addr returns the node's transport address.
+func (n *ReplicaNode) Addr() string { return n.demux.Addr() }
+
+// Register binds a servant on the node's adapter.
+func (n *ReplicaNode) Register(object string, s orb.Servant) {
+	n.adapter.Register(object, s)
+}
+
+// Engine exposes the replication engine (knobs, stats, switches).
+func (n *ReplicaNode) Engine() *replication.Engine { return n.engine }
+
+// Member exposes the group-communication member.
+func (n *ReplicaNode) Member() *gcs.Member { return n.member }
+
+// Stop shuts the node's goroutines down (does not announce a leave; pair
+// with a network crash to simulate process failure, or call Leave first
+// for graceful removal).
+func (n *ReplicaNode) Stop() {
+	n.engine.Stop()
+	n.member.Stop()
+	_ = n.demux.Close()
+}
+
+// Leave gracefully removes the node from the group, then stops it.
+func (n *ReplicaNode) Leave() {
+	n.engine.Stop()
+	n.member.Leave()
+	_ = n.demux.Close()
+}
+
+// ClientNode is one client process: an ORB client whose connection is
+// interposed onto the server group.
+type ClientNode struct {
+	demux  *transport.Demux
+	wire   *interceptor.GroupWire
+	client *orb.Client
+}
+
+// ClientConfig bundles the per-client configuration.
+type ClientConfig struct {
+	// Members are the server-group address hints.
+	Members []string
+	// Model is the virtual-time cost model.
+	Model vtime.CostModel
+	// Filter selects reply filtering (default first-response).
+	Filter interceptor.ReplyFilter
+	// ExpectedReplies is the replica count for majority voting.
+	ExpectedReplies int
+	// Timeout is the per-attempt reply timeout (real time).
+	Timeout time.Duration
+	// Retries bounds retransmissions per invocation.
+	Retries int
+}
+
+// StartClient launches a client node on ep.
+func StartClient(ep transport.MultiEndpoint, cfg ClientConfig) *ClientNode {
+	d := transport.NewDemux(ep)
+
+	gcc := gcs.DefaultClientConfig(cfg.Members)
+	gcc.Model = cfg.Model
+	gc := gcs.NewClient(d.Conn(transport.ProtoGCS), gcc)
+	d.Handle(transport.ProtoGroupClient, gc.HandleTransport)
+
+	opts := []interceptor.GroupWireOption{}
+	if cfg.Filter != 0 {
+		opts = append(opts, interceptor.WithFilter(cfg.Filter))
+	}
+	if cfg.ExpectedReplies > 0 {
+		opts = append(opts, interceptor.WithExpectedReplies(cfg.ExpectedReplies))
+	}
+	wire := interceptor.NewGroupWire(gc, cfg.Model, opts...)
+
+	copts := []orb.ClientOption{}
+	if cfg.Timeout > 0 {
+		copts = append(copts, orb.WithTimeout(cfg.Timeout))
+	}
+	if cfg.Retries > 0 {
+		copts = append(copts, orb.WithRetries(cfg.Retries))
+	}
+	client := orb.NewClient(ep.Addr(), wire, cfg.Model, copts...)
+
+	d.Start()
+	return &ClientNode{demux: d, wire: wire, client: client}
+}
+
+// Addr returns the client's transport address.
+func (c *ClientNode) Addr() string { return c.demux.Addr() }
+
+// Invoke performs one replicated invocation at virtual time now,
+// converting basic Go argument types to codec values.
+func (c *ClientNode) Invoke(object, op string, args []interface{}, now vtime.Time) (*orb.Outcome, error) {
+	vals, err := ToValues(args)
+	if err != nil {
+		return nil, err
+	}
+	return c.client.Invoke(object, op, vals, now)
+}
+
+// ORB exposes the underlying ORB client for typed invocations.
+func (c *ClientNode) ORB() *orb.Client { return c.client }
+
+// Wire exposes the group wire (to retune voting thresholds).
+func (c *ClientNode) Wire() *interceptor.GroupWire { return c.wire }
+
+// Stop shuts the client node down.
+func (c *ClientNode) Stop() {
+	_ = c.client.Close()
+	_ = c.demux.Close()
+}
+
+// ToValues converts basic Go values (bool, int/int64, uint64, float64,
+// string, []byte, codec.Value) to codec values.
+func ToValues(args []interface{}) ([]codec.Value, error) {
+	out := make([]codec.Value, 0, len(args))
+	for i, a := range args {
+		switch v := a.(type) {
+		case nil:
+			out = append(out, codec.Null())
+		case bool:
+			out = append(out, codec.Bool(v))
+		case int:
+			out = append(out, codec.Int(int64(v)))
+		case int64:
+			out = append(out, codec.Int(v))
+		case uint64:
+			out = append(out, codec.Uint(v))
+		case float64:
+			out = append(out, codec.Float(v))
+		case string:
+			out = append(out, codec.String(v))
+		case []byte:
+			out = append(out, codec.Bytes(v))
+		case codec.Value:
+			out = append(out, v)
+		default:
+			return nil, fmt.Errorf("replicator: unsupported argument %d of type %T", i, a)
+		}
+	}
+	return out, nil
+}

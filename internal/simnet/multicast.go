@@ -1,0 +1,103 @@
+package simnet
+
+import (
+	"versadep/internal/transport"
+	"versadep/internal/vtime"
+)
+
+// SendMulticast delivers payload to every address in tos, counting the
+// payload bytes ONCE in the traffic statistics.
+//
+// The paper's testbed ran Spread over a LAN where a multicast to a group is
+// a single physical transmission regardless of group size; the bandwidth
+// figures in the evaluation (Figure 7b, Table 2) reflect that. Fault
+// injection (drops, partitions, crashes) and jitter are still evaluated
+// independently per destination, as real multicast receivers fail
+// independently.
+func (e *Endpoint) SendMulticast(tos []string, payload []byte, sentAt vtime.Time) error {
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return transport.ErrClosed
+	}
+	n := e.net
+	n.mu.Lock()
+	n.stats.MessagesSent++
+	n.stats.BytesSent += int64(len(payload))
+	n.mu.Unlock()
+	for _, to := range tos {
+		dst, arrive := e.routeUncounted(to, len(payload), sentAt)
+		if dst == nil {
+			continue
+		}
+		dst.enqueue(transport.Message{
+			From:     e.addr,
+			To:       to,
+			Payload:  payload,
+			SentAt:   sentAt,
+			ArriveAt: arrive,
+		})
+	}
+	return nil
+}
+
+// SendControl sends a control-plane datagram (heartbeats, acks, membership
+// traffic) that is excluded from the byte counters. Control traffic is
+// paced in real time by the failure detector, so charging it against
+// virtual seconds would corrupt the bandwidth figures; the paper's
+// evaluation likewise measures application traffic through Spread, not the
+// daemons' keep-alives.
+func (e *Endpoint) SendControl(to string, payload []byte, sentAt vtime.Time) error {
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return transport.ErrClosed
+	}
+	dst, arrive := e.routeUncounted(to, len(payload), sentAt)
+	if dst == nil {
+		return nil
+	}
+	dst.enqueue(transport.Message{
+		From:     e.addr,
+		To:       to,
+		Payload:  payload,
+		SentAt:   sentAt,
+		ArriveAt: arrive,
+	})
+	return nil
+}
+
+// routeUncounted is route without the sent counters (the caller has already
+// accounted for the bytes, or the traffic is control-plane). Drops from
+// fault injection are still counted as drops.
+func (e *Endpoint) routeUncounted(to string, size int, sentAt vtime.Time) (*Endpoint, vtime.Time) {
+	n := e.net
+	from := e.addr
+	n.mu.Lock()
+	defer n.mu.Unlock()
+
+	dst, ok := n.endpoints[to]
+	if !ok || n.crashed[to] || n.crashed[from] {
+		return nil, 0
+	}
+	if n.partition[from] != n.partition[to] {
+		return nil, 0
+	}
+	if p := linkParam(n.dropProb, from, to); p > 0 && n.rand.Float64() < p {
+		return nil, 0
+	}
+
+	d := n.model.Transmit(size)
+	d = n.model.Jitter(d, n.rand.Float64())
+	d += linkParam(n.extraDelay, from, to)
+	arrive := sentAt.Add(d)
+
+	lk := linkKey{from, to}
+	if last := n.lastArrive[lk]; arrive.Before(last) {
+		arrive = last
+	}
+	n.lastArrive[lk] = arrive
+	return dst, arrive
+}

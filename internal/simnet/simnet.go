@@ -1,0 +1,351 @@
+// Package simnet is the in-memory network fabric versadep runs on during
+// tests, benchmarks and the evaluation harness.
+//
+// It stands in for the paper's 100 Mb/s LAN connecting seven Pentium-III
+// machines. Protocol execution is real — every endpoint has its own
+// delivery goroutine and messages genuinely travel between goroutines — but
+// the *timing* of the network is virtual: each message's arrival instant is
+// computed from the vtime cost model (fixed wire latency + size/bandwidth +
+// deterministic jitter), and links preserve FIFO arrival order the way a
+// switched LAN segment does.
+//
+// The fabric is also the fault-injection point: per-link drop probability
+// and extra delay, network partitions, and whole-process crashes, matching
+// the fault classes assumed in §3.1 of the paper (crash faults, transient
+// communication faults, performance/timing faults).
+package simnet
+
+import (
+	"fmt"
+	"sync"
+
+	"versadep/internal/transport"
+	"versadep/internal/vtime"
+)
+
+// Network is an in-memory transport fabric.
+type Network struct {
+	model vtime.CostModel
+	rand  *vtime.Rand
+
+	mu         sync.Mutex
+	endpoints  map[string]*Endpoint
+	crashed    map[string]bool
+	dropProb   map[linkKey]float64
+	extraDelay map[linkKey]vtime.Duration
+	partition  map[string]int // address -> partition id; absent = 0
+	lastArrive map[linkKey]vtime.Time
+	stats      transport.Stats
+	closed     bool
+}
+
+type linkKey struct{ from, to string }
+
+// Option configures a Network.
+type Option func(*Network)
+
+// WithCostModel replaces the default calibrated cost model.
+func WithCostModel(m vtime.CostModel) Option {
+	return func(n *Network) { n.model = m }
+}
+
+// WithSeed sets the deterministic jitter/drop seed.
+func WithSeed(seed uint64) Option {
+	return func(n *Network) { n.rand = vtime.NewRand(seed) }
+}
+
+// New creates an empty fabric.
+func New(opts ...Option) *Network {
+	n := &Network{
+		model:      vtime.DefaultCostModel(),
+		rand:       vtime.NewRand(1),
+		endpoints:  make(map[string]*Endpoint),
+		crashed:    make(map[string]bool),
+		dropProb:   make(map[linkKey]float64),
+		extraDelay: make(map[linkKey]vtime.Duration),
+		partition:  make(map[string]int),
+		lastArrive: make(map[linkKey]vtime.Time),
+	}
+	for _, o := range opts {
+		o(n)
+	}
+	return n
+}
+
+// CostModel returns the model the fabric charges for transmission.
+func (n *Network) CostModel() vtime.CostModel { return n.model }
+
+// Endpoint attaches a new process at addr.
+func (n *Network) Endpoint(addr string) (*Endpoint, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, transport.ErrClosed
+	}
+	if _, ok := n.endpoints[addr]; ok {
+		return nil, fmt.Errorf("%w: %q", transport.ErrDuplicateAddr, addr)
+	}
+	ep := newEndpoint(n, addr)
+	n.endpoints[addr] = ep
+	delete(n.crashed, addr)
+	return ep, nil
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (n *Network) Stats() transport.Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// ResetStats zeroes the traffic counters (between experiment phases).
+func (n *Network) ResetStats() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats = transport.Stats{}
+}
+
+// SetDropProb sets the probability that a message from 'from' to 'to' is
+// lost. Use "*" for either side as a wildcard.
+func (n *Network) SetDropProb(from, to string, p float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.dropProb[linkKey{from, to}] = p
+}
+
+// SetExtraDelay adds a fixed timing-fault delay on a link. Use "*" as a
+// wildcard on either side.
+func (n *Network) SetExtraDelay(from, to string, d vtime.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.extraDelay[linkKey{from, to}] = d
+}
+
+// Partition places addr in the given partition id; messages only flow
+// between endpoints in the same partition. All endpoints start in
+// partition 0. Heal with HealPartitions.
+func (n *Network) Partition(addr string, id int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partition[addr] = id
+}
+
+// HealPartitions returns every endpoint to partition 0.
+func (n *Network) HealPartitions() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partition = make(map[string]int)
+}
+
+// Crash kills the process at addr: its endpoint stops receiving and its
+// sends are discarded. Crash is permanent for that endpoint (a recovered
+// process re-attaches under a new incarnation address).
+func (n *Network) Crash(addr string) {
+	n.mu.Lock()
+	ep := n.endpoints[addr]
+	n.crashed[addr] = true
+	delete(n.endpoints, addr)
+	n.mu.Unlock()
+	if ep != nil {
+		ep.closeLocked()
+	}
+}
+
+// Crashed reports whether addr has been crashed.
+func (n *Network) Crashed(addr string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.crashed[addr]
+}
+
+// Close shuts the fabric down, closing every endpoint.
+func (n *Network) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	eps := make([]*Endpoint, 0, len(n.endpoints))
+	for _, ep := range n.endpoints {
+		eps = append(eps, ep)
+	}
+	n.endpoints = make(map[string]*Endpoint)
+	n.mu.Unlock()
+	for _, ep := range eps {
+		ep.closeLocked()
+	}
+	return nil
+}
+
+// linkParam looks up a per-link table honoring "*" wildcards.
+func linkParam[V float64 | vtime.Duration](m map[linkKey]V, from, to string) V {
+	if v, ok := m[linkKey{from, to}]; ok {
+		return v
+	}
+	if v, ok := m[linkKey{from, "*"}]; ok {
+		return v
+	}
+	if v, ok := m[linkKey{"*", to}]; ok {
+		return v
+	}
+	return m[linkKey{"*", "*"}]
+}
+
+// route computes fate and arrival time of a message, updates counters, and
+// returns the destination endpoint (nil if the message dies in the network).
+func (n *Network) route(from, to string, size int, sentAt vtime.Time) (*Endpoint, vtime.Time) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats.MessagesSent++
+	n.stats.BytesSent += int64(size)
+
+	dst, ok := n.endpoints[to]
+	if !ok || n.crashed[to] || n.crashed[from] {
+		n.stats.MessagesDropped++
+		return nil, 0
+	}
+	if n.partition[from] != n.partition[to] {
+		n.stats.MessagesDropped++
+		return nil, 0
+	}
+	if p := linkParam(n.dropProb, from, to); p > 0 && n.rand.Float64() < p {
+		n.stats.MessagesDropped++
+		return nil, 0
+	}
+
+	d := n.model.Transmit(size)
+	d = n.model.Jitter(d, n.rand.Float64())
+	d += linkParam(n.extraDelay, from, to)
+	arrive := sentAt.Add(d)
+
+	// A link behaves like a FIFO LAN segment: arrival times never go
+	// backwards on the same (from,to) pair.
+	lk := linkKey{from, to}
+	if last := n.lastArrive[lk]; arrive.Before(last) {
+		arrive = last
+	}
+	n.lastArrive[lk] = arrive
+	return dst, arrive
+}
+
+// Endpoint is a process's attachment to a Network.
+type Endpoint struct {
+	net  *Network
+	addr string
+
+	mu     sync.Mutex
+	queue  []transport.Message
+	notify chan struct{}
+	out    chan transport.Message
+	closed bool
+	done   chan struct{}
+}
+
+var _ transport.Endpoint = (*Endpoint)(nil)
+
+func newEndpoint(n *Network, addr string) *Endpoint {
+	ep := &Endpoint{
+		net:    n,
+		addr:   addr,
+		notify: make(chan struct{}, 1),
+		out:    make(chan transport.Message),
+		done:   make(chan struct{}),
+	}
+	go ep.pump()
+	return ep
+}
+
+// Addr returns the endpoint's address.
+func (e *Endpoint) Addr() string { return e.addr }
+
+// Send routes payload through the fabric.
+func (e *Endpoint) Send(to string, payload []byte, sentAt vtime.Time) error {
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return transport.ErrClosed
+	}
+	dst, arrive := e.net.route(e.addr, to, len(payload), sentAt)
+	if dst == nil {
+		return nil // dropped: datagram semantics, no error
+	}
+	dst.enqueue(transport.Message{
+		From:     e.addr,
+		To:       to,
+		Payload:  payload,
+		SentAt:   sentAt,
+		ArriveAt: arrive,
+	})
+	return nil
+}
+
+// Recv returns the delivery channel.
+func (e *Endpoint) Recv() <-chan transport.Message { return e.out }
+
+// Close detaches the endpoint and closes its delivery channel.
+func (e *Endpoint) Close() error {
+	e.net.mu.Lock()
+	if e.net.endpoints[e.addr] == e {
+		delete(e.net.endpoints, e.addr)
+	}
+	e.net.mu.Unlock()
+	e.closeLocked()
+	return nil
+}
+
+func (e *Endpoint) closeLocked() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	e.mu.Unlock()
+	close(e.done)
+}
+
+func (e *Endpoint) enqueue(m transport.Message) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.queue = append(e.queue, m)
+	e.mu.Unlock()
+	select {
+	case e.notify <- struct{}{}:
+	default:
+	}
+}
+
+// pump moves queued messages to the unbuffered delivery channel. The
+// internal queue absorbs bursts so senders never block on slow receivers
+// (a crashed or wedged process must not back-pressure the whole fabric).
+func (e *Endpoint) pump() {
+	defer close(e.out)
+	for {
+		e.mu.Lock()
+		var m transport.Message
+		have := len(e.queue) > 0
+		if have {
+			m = e.queue[0]
+			e.queue = e.queue[1:]
+		}
+		e.mu.Unlock()
+		if !have {
+			select {
+			case <-e.notify:
+				continue
+			case <-e.done:
+				return
+			}
+		}
+		select {
+		case e.out <- m:
+		case <-e.done:
+			return
+		}
+	}
+}

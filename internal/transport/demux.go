@@ -1,0 +1,149 @@
+package transport
+
+import (
+	"sync"
+
+	"versadep/internal/vtime"
+)
+
+// Protocol identifies which stack layer a datagram belongs to. It occupies
+// the first byte of every payload on the wire, so a single process can host
+// several protocol endpoints (a GCS daemon, raw ORB traffic, a group-client
+// handle) behind one network address — the way the paper's replicator
+// shares a node with the application it intercepts.
+type Protocol byte
+
+// Wire protocols.
+const (
+	// ProtoGCS carries group-communication frames.
+	ProtoGCS Protocol = 1
+	// ProtoVIOP carries raw (non-intercepted) ORB messages.
+	ProtoVIOP Protocol = 2
+	// ProtoGroupClient carries replies and view hints to external group
+	// clients.
+	ProtoGroupClient Protocol = 3
+)
+
+// Conn is the sending surface a protocol layer sees after demultiplexing:
+// payloads are automatically prefixed with the protocol byte. Multicast
+// counts payload bytes once (LAN multicast semantics); control sends are
+// excluded from traffic accounting entirely.
+type Conn interface {
+	Addr() string
+	Send(to string, payload []byte, sentAt vtime.Time) error
+	SendMulticast(tos []string, payload []byte, sentAt vtime.Time) error
+	SendControl(to string, payload []byte, sentAt vtime.Time) error
+}
+
+// MultiEndpoint is the full sending surface demux requires from a
+// transport implementation. *simnet.Endpoint satisfies it; TCP endpoints
+// provide degenerate multicast/control implementations.
+type MultiEndpoint interface {
+	Addr() string
+	Send(to string, payload []byte, sentAt vtime.Time) error
+	SendMulticast(tos []string, payload []byte, sentAt vtime.Time) error
+	SendControl(to string, payload []byte, sentAt vtime.Time) error
+	Recv() <-chan Message
+	Close() error
+}
+
+// Demux fans one endpoint's inbound stream out to per-protocol handlers and
+// provides per-protocol Conn views for sending.
+type Demux struct {
+	ep MultiEndpoint
+
+	mu       sync.Mutex
+	handlers map[Protocol]func(Message)
+	started  bool
+	done     chan struct{}
+}
+
+// NewDemux wraps ep. Call Handle for each protocol, then Start.
+func NewDemux(ep MultiEndpoint) *Demux {
+	return &Demux{
+		ep:       ep,
+		handlers: make(map[Protocol]func(Message)),
+		done:     make(chan struct{}),
+	}
+}
+
+// Handle registers fn for proto. Handlers run on the demux goroutine and
+// must not block for long; layers queue internally. Handle must be called
+// before Start.
+func (d *Demux) Handle(proto Protocol, fn func(Message)) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.handlers[proto] = fn
+}
+
+// Start launches the dispatch goroutine.
+func (d *Demux) Start() {
+	d.mu.Lock()
+	if d.started {
+		d.mu.Unlock()
+		return
+	}
+	d.started = true
+	d.mu.Unlock()
+	go d.run()
+}
+
+// Close shuts down the underlying endpoint and waits for dispatch to stop.
+func (d *Demux) Close() error {
+	err := d.ep.Close()
+	<-d.done
+	return err
+}
+
+// Addr returns the underlying endpoint address.
+func (d *Demux) Addr() string { return d.ep.Addr() }
+
+func (d *Demux) run() {
+	defer close(d.done)
+	for m := range d.ep.Recv() {
+		if len(m.Payload) == 0 {
+			continue
+		}
+		proto := Protocol(m.Payload[0])
+		m.Payload = m.Payload[1:]
+		d.mu.Lock()
+		fn := d.handlers[proto]
+		d.mu.Unlock()
+		if fn != nil {
+			fn(m)
+		}
+	}
+}
+
+// Conn returns the sending surface for proto.
+func (d *Demux) Conn(proto Protocol) Conn {
+	return protoConn{d: d, proto: byte(proto)}
+}
+
+type protoConn struct {
+	d     *Demux
+	proto byte
+}
+
+var _ Conn = protoConn{}
+
+func (c protoConn) Addr() string { return c.d.ep.Addr() }
+
+func (c protoConn) frame(payload []byte) []byte {
+	buf := make([]byte, 1+len(payload))
+	buf[0] = c.proto
+	copy(buf[1:], payload)
+	return buf
+}
+
+func (c protoConn) Send(to string, payload []byte, sentAt vtime.Time) error {
+	return c.d.ep.Send(to, c.frame(payload), sentAt)
+}
+
+func (c protoConn) SendMulticast(tos []string, payload []byte, sentAt vtime.Time) error {
+	return c.d.ep.SendMulticast(tos, c.frame(payload), sentAt)
+}
+
+func (c protoConn) SendControl(to string, payload []byte, sentAt vtime.Time) error {
+	return c.d.ep.SendControl(to, c.frame(payload), sentAt)
+}

@@ -1,0 +1,328 @@
+// Package tcptransport is the live-network back end of the transport
+// abstraction: real TCP connections between processes, for multi-process
+// deployments driven by cmd/vdnode.
+//
+// Peers are named by logical addresses mapped to host:port pairs in a
+// static registry (the moral equivalent of the paper's testbed host list),
+// and learned dynamically: every frame advertises its sender's listening
+// address, so a process can answer peers (clients, joiners) that were not
+// in its initial registry.
+// Each peer gets a dedicated sender goroutine with a bounded queue, so a
+// slow or unreachable peer can never stall the protocol goroutines — a
+// blocked dial on a real network would otherwise wedge heartbeating and
+// cascade into false suspicions. Overflowing or undeliverable frames are
+// dropped, preserving the datagram semantics the upper layers are built on
+// (the GCS retransmits).
+//
+// In live mode the virtual-time machinery is inert: messages carry their
+// virtual send instant through unchanged (ArriveAt = SentAt, a zero-cost
+// wire), and the interesting measurements are real wall-clock ones.
+package tcptransport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"versadep/internal/transport"
+	"versadep/internal/vtime"
+)
+
+// maxFrame bounds a frame's size to keep a malicious or corrupt peer from
+// forcing huge allocations.
+const maxFrame = 64 << 20
+
+// sendQueueDepth bounds each peer's outbound queue.
+const sendQueueDepth = 1024
+
+// dialTimeout bounds connection attempts inside sender goroutines.
+const dialTimeout = 2 * time.Second
+
+// Endpoint is one process's TCP attachment.
+type Endpoint struct {
+	name  string
+	ln    net.Listener
+	peers map[string]string
+
+	mu      sync.Mutex
+	senders map[string]*peerSender
+	inbound map[net.Conn]bool
+	closed  bool
+
+	out  chan transport.Message
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+var _ transport.MultiEndpoint = (*Endpoint)(nil)
+
+// Listen starts an endpoint with the given logical name, binding bind
+// (host:port), with peers mapping logical names to host:port addresses.
+func Listen(name, bind string, peers map[string]string) (*Endpoint, error) {
+	ln, err := net.Listen("tcp", bind)
+	if err != nil {
+		return nil, fmt.Errorf("tcptransport: listen %s: %w", bind, err)
+	}
+	e := &Endpoint{
+		name:    name,
+		ln:      ln,
+		peers:   peers,
+		senders: make(map[string]*peerSender),
+		inbound: make(map[net.Conn]bool),
+		out:     make(chan transport.Message, 256),
+		done:    make(chan struct{}),
+	}
+	e.wg.Add(1)
+	go e.accept()
+	return e, nil
+}
+
+// Addr returns the endpoint's logical name.
+func (e *Endpoint) Addr() string { return e.name }
+
+// BoundAddr returns the actual listening address (useful with ":0").
+func (e *Endpoint) BoundAddr() string { return e.ln.Addr().String() }
+
+// Recv returns the inbound message stream.
+func (e *Endpoint) Recv() <-chan transport.Message { return e.out }
+
+// Send enqueues payload for the named peer. It never blocks: unknown
+// peers, closed endpoints with pending work, and overflowing queues all
+// drop the frame.
+func (e *Endpoint) Send(to string, payload []byte, sentAt vtime.Time) error {
+	frame := encodeFrame(e.name, e.BoundAddr(), payload, sentAt)
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return transport.ErrClosed
+	}
+	ps := e.senders[to]
+	if ps == nil {
+		hostport, ok := e.peers[to]
+		if !ok {
+			e.mu.Unlock()
+			return nil // unknown peer: datagram drop
+		}
+		ps = newPeerSender(hostport, e.done)
+		e.senders[to] = ps
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			ps.run()
+		}()
+	}
+	e.mu.Unlock()
+
+	select {
+	case ps.ch <- frame:
+	default:
+		// Queue full: drop; the upper layers retransmit.
+	}
+	return nil
+}
+
+// SendMulticast loops unicast sends (no IP multicast assumption on real
+// networks; the LAN-multicast byte accounting only matters in simulation).
+func (e *Endpoint) SendMulticast(tos []string, payload []byte, sentAt vtime.Time) error {
+	for _, to := range tos {
+		if err := e.Send(to, payload, sentAt); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SendControl is a plain send on the live network.
+func (e *Endpoint) SendControl(to string, payload []byte, sentAt vtime.Time) error {
+	return e.Send(to, payload, sentAt)
+}
+
+// Close shuts the endpoint down: the listener, every inbound connection,
+// and every peer sender.
+func (e *Endpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	inbound := make([]net.Conn, 0, len(e.inbound))
+	for c := range e.inbound {
+		inbound = append(inbound, c)
+	}
+	e.mu.Unlock()
+
+	close(e.done)
+	err := e.ln.Close()
+	for _, c := range inbound {
+		_ = c.Close()
+	}
+	e.wg.Wait()
+	close(e.out)
+	return err
+}
+
+func (e *Endpoint) accept() {
+	defer e.wg.Done()
+	for {
+		conn, err := e.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		e.inbound[conn] = true
+		e.mu.Unlock()
+		e.wg.Add(1)
+		go e.read(conn)
+	}
+}
+
+func (e *Endpoint) read(conn net.Conn) {
+	defer e.wg.Done()
+	defer func() {
+		e.mu.Lock()
+		delete(e.inbound, conn)
+		e.mu.Unlock()
+		_ = conn.Close()
+	}()
+	for {
+		from, fromAddr, payload, sentAt, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		if fromAddr != "" {
+			// Learn (or refresh) the sender's listening address so
+			// replies reach peers absent from the static registry.
+			e.mu.Lock()
+			if e.peers[from] != fromAddr {
+				e.peers[from] = fromAddr
+				if ps := e.senders[from]; ps != nil && ps.hostport != fromAddr {
+					// The peer moved: retire the old sender lazily by
+					// dropping our handle; a fresh one is built on the
+					// next send.
+					delete(e.senders, from)
+				}
+			}
+			e.mu.Unlock()
+		}
+		msg := transport.Message{
+			From:     from,
+			To:       e.name,
+			Payload:  payload,
+			SentAt:   sentAt,
+			ArriveAt: sentAt, // live mode: virtual wire is free
+		}
+		select {
+		case e.out <- msg:
+		case <-e.done:
+			return
+		}
+	}
+}
+
+// peerSender owns the outbound connection to one peer.
+type peerSender struct {
+	hostport string
+	ch       chan []byte
+	done     <-chan struct{}
+}
+
+func newPeerSender(hostport string, done <-chan struct{}) *peerSender {
+	return &peerSender{
+		hostport: hostport,
+		ch:       make(chan []byte, sendQueueDepth),
+		done:     done,
+	}
+}
+
+func (p *peerSender) run() {
+	var conn net.Conn
+	defer func() {
+		if conn != nil {
+			_ = conn.Close()
+		}
+	}()
+	for {
+		select {
+		case <-p.done:
+			return
+		case frame := <-p.ch:
+			if conn == nil {
+				c, err := net.DialTimeout("tcp", p.hostport, dialTimeout)
+				if err != nil {
+					continue // drop; upper layers retransmit
+				}
+				conn = c
+			}
+			if _, err := conn.Write(frame); err != nil {
+				_ = conn.Close()
+				conn = nil
+			}
+		}
+	}
+}
+
+// Frame format:
+// u32 total | i64 sentAt | u16 fromLen | from | u16 addrLen | addr | payload.
+
+func encodeFrame(from, fromAddr string, payload []byte, sentAt vtime.Time) []byte {
+	total := 8 + 2 + len(from) + 2 + len(fromAddr) + len(payload)
+	buf := make([]byte, 4+total)
+	binary.BigEndian.PutUint32(buf, uint32(total))
+	binary.BigEndian.PutUint64(buf[4:], uint64(sentAt))
+	off := 12
+	binary.BigEndian.PutUint16(buf[off:], uint16(len(from)))
+	off += 2
+	copy(buf[off:], from)
+	off += len(from)
+	binary.BigEndian.PutUint16(buf[off:], uint16(len(fromAddr)))
+	off += 2
+	copy(buf[off:], fromAddr)
+	off += len(fromAddr)
+	copy(buf[off:], payload)
+	return buf
+}
+
+var errFrame = errors.New("tcptransport: malformed frame")
+
+func readFrame(r io.Reader) (from, fromAddr string, payload []byte, sentAt vtime.Time, err error) {
+	var hdr [4]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return "", "", nil, 0, err
+	}
+	total := binary.BigEndian.Uint32(hdr[:])
+	if total < 12 || total > maxFrame {
+		return "", "", nil, 0, errFrame
+	}
+	buf := make([]byte, total)
+	if _, err = io.ReadFull(r, buf); err != nil {
+		return "", "", nil, 0, err
+	}
+	sentAt = vtime.Time(binary.BigEndian.Uint64(buf))
+	off := 8
+	fromLen := int(binary.BigEndian.Uint16(buf[off:]))
+	off += 2
+	if off+fromLen+2 > int(total) {
+		return "", "", nil, 0, errFrame
+	}
+	from = string(buf[off : off+fromLen])
+	off += fromLen
+	addrLen := int(binary.BigEndian.Uint16(buf[off:]))
+	off += 2
+	if off+addrLen > int(total) {
+		return "", "", nil, 0, errFrame
+	}
+	fromAddr = string(buf[off : off+addrLen])
+	off += addrLen
+	payload = buf[off:]
+	return from, fromAddr, payload, sentAt, nil
+}

@@ -1,0 +1,224 @@
+package tcptransport
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"versadep/internal/transport"
+	"versadep/internal/vtime"
+)
+
+func recvOne(t *testing.T, e *Endpoint) transport.Message {
+	t.Helper()
+	select {
+	case m, ok := <-e.Recv():
+		if !ok {
+			t.Fatal("recv closed")
+		}
+		return m
+	case <-time.After(5 * time.Second):
+		t.Fatal("recv timed out")
+		return transport.Message{}
+	}
+}
+
+func TestSendRecvRoundTrip(t *testing.T) {
+	a, err := Listen("a", "127.0.0.1:0", map[string]string{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := Listen("b", "127.0.0.1:0", map[string]string{"a": a.BoundAddr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	if err := b.Send("a", []byte("hello"), vtime.Time(1234)); err != nil {
+		t.Fatal(err)
+	}
+	m := recvOne(t, a)
+	if string(m.Payload) != "hello" || m.From != "b" || m.SentAt != vtime.Time(1234) {
+		t.Fatalf("message = %+v", m)
+	}
+	if m.ArriveAt != m.SentAt {
+		t.Fatalf("live mode should carry SentAt through: %v vs %v", m.ArriveAt, m.SentAt)
+	}
+}
+
+func TestDynamicPeerLearning(t *testing.T) {
+	// a has no registry at all; b contacts it; a replies using the
+	// learned address.
+	a, err := Listen("a", "127.0.0.1:0", map[string]string{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := Listen("b", "127.0.0.1:0", map[string]string{"a": a.BoundAddr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	if err := b.Send("a", []byte("ping"), 0); err != nil {
+		t.Fatal(err)
+	}
+	recvOne(t, a)
+	if err := a.Send("b", []byte("pong"), 0); err != nil {
+		t.Fatal(err)
+	}
+	m := recvOne(t, b)
+	if string(m.Payload) != "pong" || m.From != "a" {
+		t.Fatalf("reply = %+v", m)
+	}
+}
+
+func TestUnknownPeerDrops(t *testing.T) {
+	a, err := Listen("a", "127.0.0.1:0", map[string]string{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.Send("ghost", []byte("x"), 0); err != nil {
+		t.Fatalf("send to unknown peer should drop silently: %v", err)
+	}
+}
+
+func TestUnreachablePeerDoesNotBlock(t *testing.T) {
+	a, err := Listen("a", "127.0.0.1:0", map[string]string{
+		// A port that nothing listens on.
+		"dead": "127.0.0.1:1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	start := time.Now()
+	for i := 0; i < 100; i++ {
+		if err := a.Send("dead", []byte("x"), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if time.Since(start) > 500*time.Millisecond {
+		t.Fatal("sends to an unreachable peer blocked the caller")
+	}
+}
+
+func TestManyMessagesInOrder(t *testing.T) {
+	a, err := Listen("a", "127.0.0.1:0", map[string]string{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := Listen("b", "127.0.0.1:0", map[string]string{"a": a.BoundAddr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := b.Send("a", []byte(fmt.Sprintf("m-%d", i)), vtime.Time(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		m := recvOne(t, a)
+		if want := fmt.Sprintf("m-%d", i); string(m.Payload) != want {
+			t.Fatalf("position %d = %q, want %q (TCP must preserve order)", i, m.Payload, want)
+		}
+	}
+}
+
+func TestMulticastLoops(t *testing.T) {
+	a, _ := Listen("a", "127.0.0.1:0", map[string]string{})
+	defer a.Close()
+	b, _ := Listen("b", "127.0.0.1:0", map[string]string{})
+	defer b.Close()
+	c, err := Listen("c", "127.0.0.1:0", map[string]string{
+		"a": a.BoundAddr(), "b": b.BoundAddr(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.SendMulticast([]string{"a", "b"}, []byte("mc"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if m := recvOne(t, a); string(m.Payload) != "mc" {
+		t.Fatalf("a got %q", m.Payload)
+	}
+	if m := recvOne(t, b); string(m.Payload) != "mc" {
+		t.Fatalf("b got %q", m.Payload)
+	}
+}
+
+func TestCloseIsPromptAndIdempotent(t *testing.T) {
+	a, err := Listen("a", "127.0.0.1:0", map[string]string{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Listen("b", "127.0.0.1:0", map[string]string{"a": a.BoundAddr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Open an inbound connection into a.
+	if err := b.Send("a", []byte("x"), 0); err != nil {
+		t.Fatal(err)
+	}
+	recvOne(t, a)
+
+	done := make(chan struct{})
+	go func() {
+		_ = a.Close()
+		_ = b.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung on inbound connections")
+	}
+	if err := a.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+	if err := a.Send("b", []byte("x"), 0); err != transport.ErrClosed {
+		t.Fatalf("send after close = %v", err)
+	}
+}
+
+func TestMalformedFrameDropsConnection(t *testing.T) {
+	a, err := Listen("a", "127.0.0.1:0", map[string]string{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	// Dial raw and send garbage with an absurd length prefix.
+	conn, err := dialRaw(a.BoundAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	// The endpoint must stay alive for well-formed traffic.
+	b, err := Listen("b", "127.0.0.1:0", map[string]string{"a": a.BoundAddr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if err := b.Send("a", []byte("ok"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if m := recvOne(t, a); string(m.Payload) != "ok" {
+		t.Fatalf("got %q", m.Payload)
+	}
+}
+
+func dialRaw(addr string) (net.Conn, error) {
+	return net.Dial("tcp", addr)
+}

@@ -1,0 +1,66 @@
+// Package transport defines the point-to-point messaging abstraction that
+// everything above it (group communication, ORB, interceptor) is written
+// against. Two implementations exist: the in-memory simulated fabric in
+// internal/simnet (used by tests, benchmarks and the evaluation harness) and
+// the TCP back end in internal/transport/tcptransport (used by cmd/vdnode
+// for live multi-process runs).
+//
+// The abstraction mirrors what the paper's replicator assumed from the OS:
+// addressed, connection-less, FIFO-per-link datagram delivery, with the
+// network free to drop or delay messages when faults are injected.
+package transport
+
+import (
+	"errors"
+
+	"versadep/internal/vtime"
+)
+
+// Message is one datagram in flight.
+type Message struct {
+	// From and To are process addresses.
+	From, To string
+	// Payload is the opaque application bytes. Receivers own the slice.
+	Payload []byte
+	// SentAt is the sender's virtual timestamp.
+	SentAt vtime.Time
+	// ArriveAt is the virtual instant of delivery, assigned by the
+	// network from its cost model (transmission + latency + jitter).
+	ArriveAt vtime.Time
+}
+
+// Endpoint is one process's attachment to the network.
+type Endpoint interface {
+	// Addr returns the endpoint's stable address.
+	Addr() string
+	// Send enqueues payload for delivery to the given address. sentAt is
+	// the sender's current virtual time. Send never blocks on the
+	// receiver; delivery is asynchronous. Sending to an unknown address
+	// silently drops (datagram semantics).
+	Send(to string, payload []byte, sentAt vtime.Time) error
+	// Recv returns the channel on which inbound messages are delivered.
+	// The channel is closed when the endpoint closes or crashes.
+	Recv() <-chan Message
+	// Close detaches the endpoint.
+	Close() error
+}
+
+// Errors shared by transport implementations.
+var (
+	// ErrClosed reports use of a closed or crashed endpoint.
+	ErrClosed = errors.New("transport: endpoint closed")
+	// ErrDuplicateAddr reports a second registration of an address.
+	ErrDuplicateAddr = errors.New("transport: address already registered")
+)
+
+// Stats aggregates traffic counters for resource-usage accounting
+// (the paper's bandwidth axis).
+type Stats struct {
+	// MessagesSent counts datagrams accepted from senders.
+	MessagesSent int64
+	// MessagesDropped counts datagrams lost to fault injection.
+	MessagesDropped int64
+	// BytesSent counts payload bytes accepted from senders, including
+	// dropped ones (they consumed wire capacity).
+	BytesSent int64
+}

@@ -1,0 +1,85 @@
+package vtime
+
+import "fmt"
+
+// Component identifies which layer of the stack a virtual cost was charged
+// by. The paper's Figure 3 breaks the round-trip time of a request into
+// exactly these contributors.
+type Component uint8
+
+// Stack components, matching Figure 3 of the paper. The replicator
+// component aggregates the interception shim and the replication
+// mechanisms, as the paper's measurement does. Network wire time incurred
+// by group-communication hops is charged to ComponentGC (the paper's GC
+// measurement includes the physical sends of the Spread daemons).
+const (
+	ComponentApp Component = iota + 1
+	ComponentORB
+	ComponentGC
+	ComponentReplicator
+	componentCount = iota + 1
+)
+
+// String returns the component's display name used in experiment tables.
+func (c Component) String() string {
+	switch c {
+	case ComponentApp:
+		return "Application"
+	case ComponentORB:
+		return "ORB"
+	case ComponentGC:
+		return "GroupCommunication"
+	case ComponentReplicator:
+		return "Replicator"
+	default:
+		return fmt.Sprintf("component(%d)", uint8(c))
+	}
+}
+
+// Components lists all ledger components in display order.
+func Components() []Component {
+	return []Component{ComponentApp, ComponentORB, ComponentGC, ComponentReplicator}
+}
+
+// Ledger accumulates the virtual cost each component charged to a message
+// or a whole round trip. The zero value is an empty ledger ready to use.
+// Ledger is a value type: it is copied into wire envelopes and merged back
+// at the receiver; it is not safe for concurrent mutation.
+type Ledger struct {
+	charges [componentCount]Duration
+}
+
+// Charge adds d to component c.
+func (l *Ledger) Charge(c Component, d Duration) {
+	if int(c) < len(l.charges) {
+		l.charges[c] += d
+	}
+}
+
+// Of reports the total charged to component c.
+func (l *Ledger) Of(c Component) Duration {
+	if int(c) < len(l.charges) {
+		return l.charges[c]
+	}
+	return 0
+}
+
+// Total reports the sum across all components.
+func (l *Ledger) Total() Duration {
+	var sum Duration
+	for _, d := range l.charges {
+		sum += d
+	}
+	return sum
+}
+
+// Merge adds every charge in other into l.
+func (l *Ledger) Merge(other Ledger) {
+	for i, d := range other.charges {
+		l.charges[i] += d
+	}
+}
+
+// Slots returns the raw per-component durations indexed by Component; used
+// by wire encoders. The returned slice aliases the ledger.
+func (l *Ledger) Slots() []Duration { return l.charges[:] }

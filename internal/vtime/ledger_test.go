@@ -1,0 +1,66 @@
+package vtime
+
+import "testing"
+
+func TestLedgerChargeAndTotal(t *testing.T) {
+	var l Ledger
+	l.Charge(ComponentORB, 100*Microsecond)
+	l.Charge(ComponentORB, 50*Microsecond)
+	l.Charge(ComponentGC, 300*Microsecond)
+	if got := l.Of(ComponentORB); got != 150*Microsecond {
+		t.Fatalf("ORB = %v", got)
+	}
+	if got := l.Of(ComponentApp); got != 0 {
+		t.Fatalf("App = %v, want 0", got)
+	}
+	if got := l.Total(); got != 450*Microsecond {
+		t.Fatalf("Total = %v", got)
+	}
+}
+
+func TestLedgerMerge(t *testing.T) {
+	var a, b Ledger
+	a.Charge(ComponentGC, 10*Microsecond)
+	b.Charge(ComponentGC, 5*Microsecond)
+	b.Charge(ComponentReplicator, 7*Microsecond)
+	a.Merge(b)
+	if got := a.Of(ComponentGC); got != 15*Microsecond {
+		t.Fatalf("GC = %v", got)
+	}
+	if got := a.Of(ComponentReplicator); got != 7*Microsecond {
+		t.Fatalf("Replicator = %v", got)
+	}
+}
+
+func TestLedgerOutOfRangeComponent(t *testing.T) {
+	var l Ledger
+	l.Charge(Component(200), Microsecond) // must not panic
+	if got := l.Of(Component(200)); got != 0 {
+		t.Fatalf("out-of-range Of = %v", got)
+	}
+	if l.Total() != 0 {
+		t.Fatalf("Total = %v, want 0", l.Total())
+	}
+}
+
+func TestComponentStrings(t *testing.T) {
+	for _, c := range Components() {
+		if s := c.String(); s == "" {
+			t.Fatalf("empty name for %d", c)
+		}
+	}
+	if got := Component(99).String(); got != "component(99)" {
+		t.Fatalf("unknown component = %q", got)
+	}
+}
+
+func TestLedgerSlotsRoundTrip(t *testing.T) {
+	var l Ledger
+	l.Charge(ComponentApp, 3*Microsecond)
+	l.Charge(ComponentGC, 9*Microsecond)
+	var copied Ledger
+	copy(copied.Slots(), l.Slots())
+	if copied.Of(ComponentApp) != 3*Microsecond || copied.Of(ComponentGC) != 9*Microsecond {
+		t.Fatalf("slots round trip lost data: %+v", copied)
+	}
+}

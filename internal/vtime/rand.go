@@ -1,0 +1,48 @@
+package vtime
+
+import "sync"
+
+// Rand is a small, deterministic pseudo-random source (splitmix64) used for
+// jitter and workload randomness. It is safe for concurrent use. We avoid
+// math/rand so that the stream is stable across Go releases: experiment
+// outputs must be bit-for-bit reproducible.
+type Rand struct {
+	mu    sync.Mutex
+	state uint64
+}
+
+// NewRand returns a deterministic source seeded with seed.
+func NewRand(seed uint64) *Rand {
+	return &Rand{state: seed + 0x9e3779b97f4a7c15}
+}
+
+// Uint64 returns the next value in the stream.
+func (r *Rand) Uint64() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform sample in [0,1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform sample in [0,n). It panics if n <= 0, mirroring
+// math/rand; callers control n.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("vtime: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Fork derives an independent child stream; useful to give each simulated
+// process its own deterministic source.
+func (r *Rand) Fork() *Rand {
+	return NewRand(r.Uint64())
+}

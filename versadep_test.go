@@ -1,0 +1,363 @@
+package versadep_test
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"versadep"
+	"versadep/internal/codec"
+)
+
+// kvApp is a deterministic replicated key-value store.
+type kvApp struct {
+	mu   sync.Mutex
+	data map[string]string
+}
+
+func newKVApp() versadep.Application {
+	return &kvApp{data: make(map[string]string)}
+}
+
+func (a *kvApp) Invoke(op string, args []codec.Value) ([]codec.Value, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	switch op {
+	case "put":
+		a.data[args[0].Str] = args[1].Str
+		return []codec.Value{codec.Int(int64(len(a.data)))}, nil
+	case "get":
+		v, ok := a.data[args[0].Str]
+		return []codec.Value{codec.String(v), codec.Bool(ok)}, nil
+	default:
+		return nil, fmt.Errorf("kv: unknown op %q", op)
+	}
+}
+
+func (a *kvApp) State() []byte {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	m := make(map[string]codec.Value, len(a.data))
+	for k, v := range a.data {
+		m[k] = codec.String(v)
+	}
+	return codec.EncodeValue(codec.Map(m))
+}
+
+func (a *kvApp) Restore(state []byte) error {
+	v, err := codec.DecodeValue(state)
+	if err != nil {
+		return err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.data = make(map[string]string, len(v.Map))
+	for k, val := range v.Map {
+		a.data[k] = val.Str
+	}
+	return nil
+}
+
+func (a *kvApp) get(k string) (string, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	v, ok := a.data[k]
+	return v, ok
+}
+
+func TestSystemQuickstart(t *testing.T) {
+	sys := versadep.NewSystem(versadep.WithSeed(3))
+	defer sys.Close()
+
+	group, err := sys.StartGroup("kv", 3, versadep.GroupConfig{
+		Style:  versadep.Active,
+		NewApp: newKVApp,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := sys.NewClient(group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	reply, err := client.Invoke("App", "put", "greeting", "hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Results[0].Int != 1 {
+		t.Fatalf("put returned %+v", reply.Results)
+	}
+	if reply.RTT <= 0 {
+		t.Fatal("no virtual RTT")
+	}
+	reply, err = client.Invoke("App", "get", "greeting")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Results[0].Str != "hello" || !reply.Results[1].Bool {
+		t.Fatalf("get returned %+v", reply.Results)
+	}
+}
+
+func TestSystemSurvivesCrashes(t *testing.T) {
+	sys := versadep.NewSystem(versadep.WithSeed(5))
+	defer sys.Close()
+	group, err := sys.StartGroup("kv", 3, versadep.GroupConfig{
+		Style:  versadep.WarmPassive,
+		NewApp: newKVApp,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := sys.NewClient(group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	for i := 0; i < 8; i++ {
+		if _, err := client.Invoke("App", "put", fmt.Sprintf("k%d", i), "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Kill the primary; the service must keep the committed state.
+	if err := group.Crash(0); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := client.Invoke("App", "get", "k7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Results[0].Str != "v" {
+		t.Fatalf("state lost after failover: %+v", reply.Results)
+	}
+	if got := len(group.Members()); got != 2 {
+		t.Fatalf("members after crash = %d", got)
+	}
+}
+
+func TestSystemRuntimeStyleSwitch(t *testing.T) {
+	sys := versadep.NewSystem(versadep.WithSeed(7))
+	defer sys.Close()
+	group, err := sys.StartGroup("kv", 2, versadep.GroupConfig{
+		Style:  versadep.WarmPassive,
+		NewApp: newKVApp,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := sys.NewClient(group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	if _, err := client.Invoke("App", "put", "a", "1"); err != nil {
+		t.Fatal(err)
+	}
+	group.SetStyle(versadep.Active)
+	deadline := time.Now().Add(5 * time.Second)
+	for group.Style() != versadep.Active {
+		if time.Now().After(deadline) {
+			t.Fatalf("style did not switch (still %v)", group.Style())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// Traffic keeps working and state survives the switch.
+	reply, err := client.Invoke("App", "get", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Results[0].Str != "1" {
+		t.Fatalf("state lost across switch: %+v", reply.Results)
+	}
+}
+
+func TestSystemAddReplica(t *testing.T) {
+	sys := versadep.NewSystem(versadep.WithSeed(9))
+	defer sys.Close()
+	group, err := sys.StartGroup("kv", 2, versadep.GroupConfig{
+		Style:  versadep.Active,
+		NewApp: newKVApp,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := sys.NewClient(group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if _, err := client.Invoke("App", "put", "x", "42"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := group.AddReplica(); err != nil {
+		t.Fatal(err)
+	}
+	// The joiner converges to the existing state.
+	app := group.App(2).(*kvApp)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if v, ok := app.get("x"); ok && v == "42" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("joiner never received state transfer")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestSystemVotingClient(t *testing.T) {
+	sys := versadep.NewSystem(versadep.WithSeed(11))
+	defer sys.Close()
+	group, err := sys.StartGroup("kv", 3, versadep.GroupConfig{
+		Style:  versadep.Active,
+		NewApp: newKVApp,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := sys.NewClient(group, versadep.WithVoting(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	reply, err := client.Invoke("App", "put", "v", "w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Results[0].Int != 1 {
+		t.Fatalf("voted put = %+v", reply.Results)
+	}
+}
+
+func TestSystemValidation(t *testing.T) {
+	sys := versadep.NewSystem()
+	if _, err := sys.StartGroup("g", 0, versadep.GroupConfig{NewApp: newKVApp}); err == nil {
+		t.Fatal("accepted zero replicas")
+	}
+	if _, err := sys.StartGroup("g", 1, versadep.GroupConfig{}); err == nil {
+		t.Fatal("accepted nil NewApp")
+	}
+	g, err := sys.StartGroup("g", 1, versadep.GroupConfig{NewApp: newKVApp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.StartGroup("g", 1, versadep.GroupConfig{NewApp: newKVApp}); err == nil {
+		t.Fatal("accepted duplicate group name")
+	}
+	// A client for a group from another system is rejected.
+	sys2 := versadep.NewSystem()
+	defer sys2.Close()
+	if _, err := sys2.NewClient(g); !errors.Is(err, versadep.ErrUnknownGroup) {
+		t.Fatalf("err = %v", err)
+	}
+	sys.Close()
+	if _, err := sys.StartGroup("h", 1, versadep.GroupConfig{NewApp: newKVApp}); !errors.Is(err, versadep.ErrClosed) {
+		t.Fatalf("err after close = %v", err)
+	}
+	sys.Close() // idempotent
+}
+
+func TestSystemScalabilityKnobExport(t *testing.T) {
+	req := versadep.PaperRequirements()
+	ms := []versadep.Measurement{{
+		Config:    versadep.Config{Style: versadep.Active, Replicas: 2},
+		Clients:   1,
+		Latency:   1500 * time.Microsecond,
+		Bandwidth: 1.0,
+	}}
+	rows, infeasible := versadep.ScalabilityPolicy(ms, 1, req)
+	if len(rows) != 1 || len(infeasible) != 0 {
+		t.Fatalf("rows=%d infeasible=%v", len(rows), infeasible)
+	}
+	if rows[0].Config.String() != "A(2)" {
+		t.Fatalf("config = %s", rows[0].Config)
+	}
+}
+
+func TestSystemRemoveReplica(t *testing.T) {
+	sys := versadep.NewSystem(versadep.WithSeed(13))
+	defer sys.Close()
+	group, err := sys.StartGroup("kv", 3, versadep.GroupConfig{
+		Style:  versadep.Active,
+		NewApp: newKVApp,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := sys.NewClient(group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if _, err := client.Invoke("App", "put", "a", "1"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Gracefully retire a replica: the #replicas knob moving down.
+	if err := group.RemoveReplica(2); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(group.Members()); got != 2 {
+		t.Fatalf("members after removal = %d", got)
+	}
+	if err := group.RemoveReplica(2); err == nil {
+		t.Fatal("double removal accepted")
+	}
+	if err := group.RemoveReplica(9); err == nil {
+		t.Fatal("out-of-range removal accepted")
+	}
+	// The remaining pair still serves.
+	reply, err := client.Invoke("App", "get", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Results[0].Str != "1" {
+		t.Fatalf("state lost after removal: %+v", reply.Results)
+	}
+}
+
+func TestSystemCheckpointKnob(t *testing.T) {
+	sys := versadep.NewSystem(versadep.WithSeed(17))
+	defer sys.Close()
+	group, err := sys.StartGroup("kv", 2, versadep.GroupConfig{
+		Style:           versadep.WarmPassive,
+		CheckpointEvery: 500,
+		NewApp:          newKVApp,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := sys.NewClient(group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	group.SetCheckpointEvery(2)
+	for i := 0; i < 8; i++ {
+		if _, err := client.Invoke("App", "put", fmt.Sprintf("k%d", i), "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		st, err := group.Stats(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Checkpoints >= 2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("checkpoint knob ineffective: %d checkpoints", st.Checkpoints)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
