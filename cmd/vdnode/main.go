@@ -47,9 +47,10 @@ func main() {
 		members  = flag.String("members", "", "comma-separated group member names (client role)")
 		style    = flag.String("style", "active", "replication style (replica role)")
 		requests = flag.Int("requests", 100, "requests to issue (client role)")
+		traceDmp = flag.Bool("trace", false, "dump the trace-counter registry as JSON on exit")
 	)
 	flag.Parse()
-	if err := run(*role, *name, *bind, *peersStr, *seedsStr, *members, *style, *requests); err != nil {
+	if err := run(*role, *name, *bind, *peersStr, *seedsStr, *members, *style, *requests, *traceDmp); err != nil {
 		fmt.Fprintln(os.Stderr, "vdnode:", err)
 		os.Exit(1)
 	}
@@ -84,7 +85,7 @@ func splitList(s string) []string {
 	return out
 }
 
-func run(role, name, bind, peersStr, seedsStr, membersStr, styleName string, requests int) error {
+func run(role, name, bind, peersStr, seedsStr, membersStr, styleName string, requests int, traceDump bool) error {
 	if name == "" || bind == "" {
 		return fmt.Errorf("-name and -bind are required")
 	}
@@ -99,16 +100,16 @@ func run(role, name, bind, peersStr, seedsStr, membersStr, styleName string, req
 
 	switch role {
 	case "replica":
-		return runReplica(ep, splitList(seedsStr), styleName)
+		return runReplica(ep, splitList(seedsStr), styleName, traceDump)
 	case "client":
-		return runClient(ep, splitList(membersStr), requests)
+		return runClient(ep, splitList(membersStr), requests, traceDump)
 	default:
 		_ = ep.Close()
 		return fmt.Errorf("unknown role %q", role)
 	}
 }
 
-func runReplica(ep *tcptransport.Endpoint, seeds []string, styleName string) error {
+func runReplica(ep *tcptransport.Endpoint, seeds []string, styleName string, traceDump bool) error {
 	style, err := replication.ParseStyle(styleName)
 	if err != nil {
 		return err
@@ -148,6 +149,9 @@ func runReplica(ep *tcptransport.Endpoint, seeds []string, styleName string) err
 		select {
 		case <-sig:
 			fmt.Printf("[%s] shutting down\n", ep.Addr())
+			if traceDump {
+				fmt.Printf("[%s] trace:\n%s\n", ep.Addr(), node.TraceSnapshot().JSON())
+			}
 			node.Leave()
 			return nil
 		case <-ticker.C:
@@ -163,7 +167,7 @@ func runReplica(ep *tcptransport.Endpoint, seeds []string, styleName string) err
 	}
 }
 
-func runClient(ep *tcptransport.Endpoint, members []string, requests int) error {
+func runClient(ep *tcptransport.Endpoint, members []string, requests int, traceDump bool) error {
 	if len(members) == 0 {
 		_ = ep.Close()
 		return fmt.Errorf("-members is required for the client role")
@@ -194,5 +198,8 @@ func runClient(ep *tcptransport.Endpoint, members []string, requests int) error 
 	fmt.Printf("done: %d requests in %v (%.1f req/s wall), final counter %d\n",
 		requests, elapsed.Round(time.Millisecond),
 		float64(requests)/elapsed.Seconds(), last)
+	if traceDump {
+		fmt.Printf("trace:\n%s\n", client.TraceSnapshot().JSON())
+	}
 	return nil
 }

@@ -34,16 +34,17 @@ func main() {
 		switchTo  = flag.String("switch-to", "", "style to switch to mid-run")
 		switchAt  = flag.Int("switch-at", 0, "request index at which to switch")
 		crashAt   = flag.Int("crash-primary-at", 0, "request index at which to crash the rank-0 replica")
+		traceDump = flag.Bool("trace", false, "dump the merged trace-counter registry as JSON on exit")
 	)
 	flag.Parse()
-	if err := run(*styleName, *replicas, *clients, *requests, *ckpt, *seed, *switchTo, *switchAt, *crashAt); err != nil {
+	if err := run(*styleName, *replicas, *clients, *requests, *ckpt, *seed, *switchTo, *switchAt, *crashAt, *traceDump); err != nil {
 		fmt.Fprintln(os.Stderr, "vdsim:", err)
 		os.Exit(1)
 	}
 }
 
 func run(styleName string, replicas, clients, requests, ckpt int, seed uint64,
-	switchTo string, switchAt, crashAt int) error {
+	switchTo string, switchAt, crashAt int, traceDump bool) error {
 	style, err := replication.ParseStyle(styleName)
 	if err != nil {
 		return err
@@ -103,6 +104,10 @@ func run(styleName string, replicas, clients, requests, ckpt int, seed uint64,
 		st.Mean.Seconds()*1e6, st.Jitter.Seconds()*1e6, st.P99.Seconds()*1e6)
 	fmt.Printf("  bandwidth %.3f MB/s\n", scn.BandwidthMBs())
 	fmt.Printf("  final style %s, faults tolerated %d\n", scn.Style(), len(scn.Members())-1)
+
+	if traceDump {
+		fmt.Printf("\ntrace:\n%s\n", scn.TraceSnapshot().JSON())
+	}
 
 	mu.Lock()
 	defer mu.Unlock()

@@ -7,6 +7,7 @@ import (
 	"versadep/internal/monitor"
 	"versadep/internal/replication"
 	"versadep/internal/replicator"
+	"versadep/internal/trace"
 	"versadep/internal/vtime"
 )
 
@@ -116,6 +117,19 @@ func (s *Scenario) Members() []string {
 		}
 	}
 	return out
+}
+
+// TraceSnapshot merges every node's and client's trace counters into one
+// system-wide snapshot (per-subsystem counters sum across processes).
+func (s *Scenario) TraceSnapshot() trace.Snapshot {
+	snaps := make([]trace.Snapshot, 0, len(s.e.nodes)+len(s.e.clients))
+	for _, n := range s.e.nodes {
+		snaps = append(snaps, n.TraceSnapshot())
+	}
+	for _, c := range s.e.clients {
+		snaps = append(snaps, c.TraceSnapshot())
+	}
+	return trace.Merge(snaps...)
 }
 
 // BandwidthMBs reports network usage over the run's virtual makespan.

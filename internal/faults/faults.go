@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"versadep/internal/simnet"
+	"versadep/internal/trace"
 	"versadep/internal/vtime"
 )
 
@@ -75,30 +76,50 @@ func (s *Schedule) Len() int { return len(s.steps) }
 type Injector struct {
 	net *simnet.Network
 
+	tr     *trace.Recorder
+	cSteps *trace.Counter
+
 	mu      sync.Mutex
 	stopped bool
 	stop    chan struct{}
-	done    chan struct{}
 	applied []string
 }
 
-// NewInjector creates an injector for net.
-func NewInjector(net *simnet.Network) *Injector {
-	return &Injector{
-		net:  net,
-		stop: make(chan struct{}),
-		done: make(chan struct{}),
+// InjectorOption configures an Injector.
+type InjectorOption func(*Injector)
+
+// WithInjectorTrace reports fired fault steps into r.
+func WithInjectorTrace(r *trace.Recorder) InjectorOption {
+	return func(i *Injector) {
+		i.tr = r
+		i.cSteps = r.Counter(trace.SubFaults, "steps_fired")
 	}
 }
 
+// NewInjector creates an injector for net.
+func NewInjector(net *simnet.Network, opts ...InjectorOption) *Injector {
+	i := &Injector{
+		net:  net,
+		stop: make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(i)
+	}
+	return i
+}
+
 // Run executes the schedule asynchronously; the returned channel closes
-// when every step has fired (or the injector is stopped early).
+// when every step has fired (or the injector is stopped early). Each call
+// gets its own completion channel, so an injector can run schedules
+// back-to-back; a stopped injector's schedules complete immediately
+// without firing anything.
 func (i *Injector) Run(s *Schedule) <-chan struct{} {
 	steps := append([]Step(nil), s.steps...)
+	done := make(chan struct{})
 	go func() {
-		defer close(i.done)
+		defer close(done)
 		start := time.Now()
-		for _, st := range steps {
+		for n, st := range steps {
 			wait := st.After - time.Since(start)
 			if wait > 0 {
 				select {
@@ -113,12 +134,14 @@ func (i *Injector) Run(s *Schedule) <-chan struct{} {
 			default:
 			}
 			st.Do(i.net)
+			i.cSteps.Inc()
+			i.tr.Event(trace.SubFaults, "step", 0, int64(n))
 			i.mu.Lock()
 			i.applied = append(i.applied, st.Name)
 			i.mu.Unlock()
 		}
 	}()
-	return i.done
+	return done
 }
 
 // Applied returns the names of the steps that have fired so far.

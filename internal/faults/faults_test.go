@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"versadep/internal/simnet"
+	"versadep/internal/trace"
 	"versadep/internal/vtime"
 )
 
@@ -65,6 +66,80 @@ func TestStopAbortsSchedule(t *testing.T) {
 	}
 	inj.Stop() // idempotent
 	if got := inj.Applied(); len(got) != 1 || got[0] != "first" {
+		t.Fatalf("applied = %v", got)
+	}
+}
+
+// Regression: on the seed code the injector held a single done channel
+// that every Run goroutine closed, so running a second schedule on the
+// same injector panicked with "close of closed channel".
+func TestRunTwiceOnSameInjector(t *testing.T) {
+	net := simnet.New()
+	defer net.Close()
+	if _, err := net.Endpoint("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Endpoint("b"); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := trace.New()
+	inj := NewInjector(net, WithInjectorTrace(rec))
+
+	var s1 Schedule
+	s1.At(0, "drop", Drop("a", "b", 1.0))
+	select {
+	case <-inj.Run(&s1):
+	case <-time.After(5 * time.Second):
+		t.Fatal("first schedule did not complete")
+	}
+
+	var s2 Schedule
+	s2.At(0, "heal", Heal())
+	select {
+	case <-inj.Run(&s2): // seed: panics closing the shared done channel
+	case <-time.After(5 * time.Second):
+		t.Fatal("second schedule did not complete")
+	}
+
+	if got := inj.Applied(); len(got) != 2 || got[0] != "drop" || got[1] != "heal" {
+		t.Fatalf("applied = %v", got)
+	}
+	if got := rec.Value(trace.SubFaults, "steps_fired"); got != 2 {
+		t.Fatalf("steps_fired = %d, want 2", got)
+	}
+}
+
+// Regression: Run after Stop must complete immediately without firing any
+// step (and without panicking on the seed's shared done channel).
+func TestRunAfterStopFiresNothing(t *testing.T) {
+	net := simnet.New()
+	defer net.Close()
+	if _, err := net.Endpoint("a"); err != nil {
+		t.Fatal(err)
+	}
+
+	inj := NewInjector(net)
+	var s1 Schedule
+	s1.At(0, "first", Heal())
+	select {
+	case <-inj.Run(&s1):
+	case <-time.After(5 * time.Second):
+		t.Fatal("first schedule did not complete")
+	}
+	inj.Stop()
+
+	var s2 Schedule
+	s2.At(0, "crash", Crash("a"))
+	select {
+	case <-inj.Run(&s2):
+	case <-time.After(2 * time.Second):
+		t.Fatal("post-stop schedule did not complete")
+	}
+	if net.Crashed("a") {
+		t.Fatal("stopped injector fired a step")
+	}
+	if got := inj.Applied(); len(got) != 1 {
 		t.Fatalf("applied = %v", got)
 	}
 }

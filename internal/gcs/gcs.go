@@ -30,6 +30,7 @@ import (
 	"errors"
 	"time"
 
+	"versadep/internal/trace"
 	"versadep/internal/vtime"
 )
 
@@ -179,6 +180,10 @@ type Config struct {
 	Model vtime.CostModel
 	// Seed seeds the member's deterministic jitter source.
 	Seed uint64
+	// Trace, when non-nil, receives the member's protocol counters and
+	// events (view changes, heartbeat misses, retransmit-queue depth,
+	// NACKs). A nil recorder costs nothing on the hot paths.
+	Trace *trace.Recorder
 }
 
 // DefaultConfig returns timing suitable for tests and the evaluation

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"versadep/internal/trace"
 	"versadep/internal/transport"
 	"versadep/internal/vtime"
 )
@@ -27,6 +28,14 @@ type Member struct {
 	cmds chan func()
 	stop chan struct{}
 	done chan struct{}
+
+	// trace counters (nil-safe no-ops when Config.Trace is unset).
+	tr          *trace.Recorder
+	cViews      *trace.Counter
+	cHBMisses   *trace.Counter
+	cNacks      *trace.Counter
+	cRetxDepth  *trace.Counter // high-water retransmit-queue depth
+	cRetransmit *trace.Counter
 
 	// out delivers events to the application through an elastic queue so
 	// protocol progress never blocks on a slow consumer.
@@ -171,6 +180,12 @@ func Open(conn, xconn transport.Conn, cfg Config) *Member {
 		leaveReqs:    make(map[string]bool),
 		now:          time.Now,
 	}
+	m.tr = cfg.Trace
+	m.cViews = cfg.Trace.Counter(trace.SubGCS, "view_changes")
+	m.cHBMisses = cfg.Trace.Counter(trace.SubGCS, "heartbeat_misses")
+	m.cNacks = cfg.Trace.Counter(trace.SubGCS, "nacks_sent")
+	m.cRetxDepth = cfg.Trace.Counter(trace.SubGCS, "retransmit_queue_depth")
+	m.cRetransmit = cfg.Trace.Counter(trace.SubGCS, "retransmits")
 	if len(cfg.Seeds) == 0 {
 		m.installBootstrapView()
 	} else {
@@ -417,6 +432,8 @@ func (m *Member) installBootstrapView() {
 	m.nextSeq = 1
 	m.lastView = &frame{Kind: kView, ViewID: 1, Seq: 0, Members: []string{m.Addr()}}
 	m.resetPerViewState()
+	m.cViews.Inc()
+	m.tr.Event(trace.SubGCS, "view_change", m.deliverVT, int64(m.view.ID))
 	m.emit(Event{Kind: EventView, View: m.view.clone(), Seq: 0, VTime: m.deliverVT})
 }
 

@@ -3,6 +3,7 @@ package gcs
 import (
 	"sort"
 
+	"versadep/internal/trace"
 	"versadep/internal/transport"
 	"versadep/internal/vtime"
 )
@@ -452,6 +453,7 @@ func (m *Member) maybeNack() {
 		missing = append(missing, s)
 	}
 	nack := &frame{Kind: kNack, Origin: m.Addr(), Seqs: missing}
+	m.cNacks.Inc()
 	m.sendControl(m.view.Coordinator(), nack)
 }
 
@@ -557,6 +559,7 @@ func (m *Member) handleHeartbeat(from string, f *frame) {
 			}
 		}
 		if len(missing) > 0 {
+			m.cNacks.Inc()
 			m.sendControl(m.view.Coordinator(), &frame{Kind: kNack, Origin: m.Addr(), Seqs: missing})
 		}
 	}
@@ -811,6 +814,8 @@ func (m *Member) tick() {
 		}
 		if nowT.Sub(m.lastHeard[mm]) > m.cfg.SuspectAfter {
 			m.suspects[mm] = true
+			m.cHBMisses.Inc()
+			m.tr.Event(trace.SubGCS, "suspect", m.deliverVT, int64(m.view.ID))
 			changed = true
 		}
 	}
@@ -823,6 +828,7 @@ func (m *Member) tick() {
 		for _, oseq := range m.pendOrder {
 			if f, ok := m.pending[oseq]; ok {
 				m.sendControl(m.currentSequencer(), f)
+				m.cRetransmit.Inc()
 			}
 		}
 		m.compactPendOrder()
@@ -832,8 +838,17 @@ func (m *Member) tick() {
 	for to, un := range m.directUnack {
 		for _, f := range un {
 			m.sendExternal(to, f, true)
+			m.cRetransmit.Inc()
 		}
 	}
+
+	// Record the high-water retransmit-queue depth: unsequenced agreed
+	// submissions plus unacked direct frames awaiting resend.
+	depth := int64(len(m.pending))
+	for _, un := range m.directUnack {
+		depth += int64(len(un))
+	}
+	m.cRetxDepth.Max(depth)
 
 	// Re-nack outstanding gaps. While blocked, the only useful progress
 	// is toward a held view installation.

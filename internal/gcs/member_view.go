@@ -4,6 +4,7 @@ import (
 	"sort"
 	"time"
 
+	"versadep/internal/trace"
 	"versadep/internal/transport"
 )
 
@@ -419,6 +420,7 @@ func (m *Member) tryInstallHeldView() {
 					missing = append(missing, q)
 				}
 			}
+			m.cNacks.Inc()
 			m.sendControl(rf.f.Origin, &frame{Kind: kNack, Origin: m.Addr(), Seqs: missing})
 			return
 		}
@@ -489,6 +491,8 @@ func (m *Member) installJoinedView(f *frame, joined bool) {
 	// Emit the view change before resuming traffic: resuming can
 	// synchronously sequence and deliver resubmitted messages, and those
 	// deliveries belong to the new view in the event order.
+	m.cViews.Inc()
+	m.tr.Event(trace.SubGCS, "view_change", m.deliverVT, int64(m.view.ID))
 	m.emit(Event{Kind: EventView, View: m.view.clone(), Seq: f.Seq, VTime: m.deliverVT, Joined: joined})
 
 	if m.view.Coordinator() == m.Addr() {

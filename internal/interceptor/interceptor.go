@@ -27,6 +27,7 @@ import (
 	"versadep/internal/gcs"
 	"versadep/internal/orb"
 	"versadep/internal/replication"
+	"versadep/internal/trace"
 	"versadep/internal/vtime"
 )
 
@@ -38,12 +39,24 @@ type PassthroughWire struct {
 	out   chan orb.WireReply
 	stop  chan struct{}
 	done  chan struct{}
+
+	cCrossings *trace.Counter
 }
 
 var _ orb.Wire = (*PassthroughWire)(nil)
 
+// PassthroughOption configures a PassthroughWire.
+type PassthroughOption func(*PassthroughWire)
+
+// WithPassthroughTrace reports interception crossings into r.
+func WithPassthroughTrace(r *trace.Recorder) PassthroughOption {
+	return func(w *PassthroughWire) {
+		w.cCrossings = r.Counter(trace.SubInterceptor, "crossings")
+	}
+}
+
 // NewPassthrough interposes on inner.
-func NewPassthrough(inner orb.Wire, model vtime.CostModel) *PassthroughWire {
+func NewPassthrough(inner orb.Wire, model vtime.CostModel, opts ...PassthroughOption) *PassthroughWire {
 	w := &PassthroughWire{
 		inner: inner,
 		model: model,
@@ -51,12 +64,16 @@ func NewPassthrough(inner orb.Wire, model vtime.CostModel) *PassthroughWire {
 		stop:  make(chan struct{}),
 		done:  make(chan struct{}),
 	}
+	for _, o := range opts {
+		o(w)
+	}
 	go w.pump()
 	return w
 }
 
 // Send charges the interception crossing and forwards.
 func (w *PassthroughWire) Send(reqBytes []byte, sentAt vtime.Time, led vtime.Ledger) error {
+	w.cCrossings.Inc()
 	led.Charge(vtime.ComponentReplicator, w.model.Intercept)
 	return w.inner.Send(reqBytes, sentAt.Add(w.model.Intercept), led)
 }
@@ -84,6 +101,7 @@ func (w *PassthroughWire) pump() {
 			if !ok {
 				return
 			}
+			w.cCrossings.Inc()
 			wr.Ledger.Charge(vtime.ComponentReplicator, w.model.Intercept)
 			wr.VTime = wr.VTime.Add(w.model.Intercept)
 			select {
@@ -112,21 +130,39 @@ const (
 	FilterMajority
 )
 
+// deliveredWindow is how many request ids behind the highest delivered one
+// the wire keeps explicit delivery state for. The client ORB issues ids
+// sequentially and waits synchronously, so anything this far behind the
+// frontier has long been answered (or abandoned) and is suppressed as a
+// duplicate rather than re-delivered.
+const deliveredWindow = 256
+
 // GroupWire redirects a client ORB onto a replicated server group.
 type GroupWire struct {
 	gc     *gcs.GroupClient
 	model  vtime.CostModel
 	filter ReplyFilter
 
-	mu        sync.Mutex
-	expected  int
+	mu       sync.Mutex
+	expected int
+	// delivered/votes hold per-rid state only for the ordered window
+	// [floor, highRid]; floor advances monotonically, so pruning is O(1)
+	// amortized per delivery instead of a full-map scan, and a reply for
+	// a rid below floor is suppressed instead of re-delivered.
 	delivered map[uint64]bool
 	votes     map[uint64]map[string]*vote
 	highRid   uint64
+	floor     uint64
 
 	out  chan orb.WireReply
 	stop chan struct{}
 	done chan struct{}
+
+	cCrossings  *trace.Counter
+	cDelivered  *trace.Counter
+	cMajority   *trace.Counter
+	cSuppressed *trace.Counter
+	cPruned     *trace.Counter
 }
 
 type vote struct {
@@ -150,6 +186,18 @@ func WithExpectedReplies(n int) GroupWireOption {
 	return func(w *GroupWire) { w.expected = n }
 }
 
+// WithGroupTrace reports interception crossings, filter outcomes and
+// duplicate suppressions into r.
+func WithGroupTrace(r *trace.Recorder) GroupWireOption {
+	return func(w *GroupWire) {
+		w.cCrossings = r.Counter(trace.SubInterceptor, "crossings")
+		w.cDelivered = r.Counter(trace.SubInterceptor, "replies_delivered")
+		w.cMajority = r.Counter(trace.SubInterceptor, "majority_delivered")
+		w.cSuppressed = r.Counter(trace.SubInterceptor, "duplicates_suppressed")
+		w.cPruned = r.Counter(trace.SubInterceptor, "pruned_rids")
+	}
+}
+
 // NewGroupWire interposes a client onto the group behind gc.
 func NewGroupWire(gc *gcs.GroupClient, model vtime.CostModel, opts ...GroupWireOption) *GroupWire {
 	w := &GroupWire{
@@ -159,6 +207,7 @@ func NewGroupWire(gc *gcs.GroupClient, model vtime.CostModel, opts ...GroupWireO
 		expected:  1,
 		delivered: make(map[uint64]bool),
 		votes:     make(map[uint64]map[string]*vote),
+		floor:     1, // request ids start at 1
 		out:       make(chan orb.WireReply, 64),
 		stop:      make(chan struct{}),
 		done:      make(chan struct{}),
@@ -183,6 +232,7 @@ func (w *GroupWire) SetExpectedReplies(n int) {
 // Send wraps the request in a replication envelope and submits it into the
 // group's agreed stream.
 func (w *GroupWire) Send(reqBytes []byte, sentAt vtime.Time, led vtime.Ledger) error {
+	w.cCrossings.Inc()
 	led.Charge(vtime.ComponentReplicator, w.model.Intercept)
 	payload := replication.WrapRequest(reqBytes)
 	return w.gc.Submit(payload, sentAt.Add(w.model.Intercept), led)
@@ -214,6 +264,7 @@ func (w *GroupWire) pump() {
 			if e.Kind != gcs.EventDirect {
 				continue
 			}
+			w.cCrossings.Inc()
 			wr := orb.WireReply{Bytes: e.Payload, VTime: e.VTime, Ledger: e.Ledger}
 			wr.Ledger.Charge(vtime.ComponentReplicator, w.model.Intercept)
 			wr.VTime = wr.VTime.Add(w.model.Intercept)
@@ -238,7 +289,11 @@ func (w *GroupWire) filterReply(wr orb.WireReply) (orb.WireReply, bool) {
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if w.delivered[rid] {
+	if rid < w.floor || w.delivered[rid] {
+		// Already delivered, or so far behind the frontier that its
+		// per-rid state was pruned: either way a retransmitted reply,
+		// suppressed rather than handed to the client a second time.
+		w.cSuppressed.Inc()
 		return wr, false
 	}
 	switch w.filter {
@@ -266,27 +321,33 @@ func (w *GroupWire) filterReply(wr orb.WireReply) (orb.WireReply, bool) {
 		}
 		w.markDelivered(rid)
 		delete(w.votes, rid)
+		w.cMajority.Inc()
+		w.cDelivered.Inc()
 		return v.wr, true
 	default: // FilterFirst
 		w.markDelivered(rid)
+		w.cDelivered.Inc()
 		return wr, true
 	}
 }
 
-// markDelivered records rid and prunes old entries (w.mu held).
+// markDelivered records rid and advances the ordered window (w.mu held).
+// The floor only moves forward, so the total pruning work over a run is
+// linear in the number of rids — O(1) amortized per delivery, replacing
+// the previous full-map scan on every reply.
 func (w *GroupWire) markDelivered(rid uint64) {
 	w.delivered[rid] = true
 	if rid > w.highRid {
 		w.highRid = rid
 	}
-	for old := range w.delivered {
-		if old+256 <= w.highRid {
-			delete(w.delivered, old)
+	for w.floor+deliveredWindow <= w.highRid {
+		if _, ok := w.delivered[w.floor]; ok {
+			delete(w.delivered, w.floor)
+			w.cPruned.Inc()
 		}
-	}
-	for old := range w.votes {
-		if old+256 <= w.highRid {
-			delete(w.votes, old)
+		if _, ok := w.votes[w.floor]; ok {
+			delete(w.votes, w.floor)
 		}
+		w.floor++
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"versadep/internal/orb"
+	"versadep/internal/trace"
 	"versadep/internal/vtime"
 )
 
@@ -226,6 +227,98 @@ func TestFilterPrunesOldState(t *testing.T) {
 	w.mu.Unlock()
 	if n > 300 {
 		t.Fatalf("delivered map grew unbounded: %d entries", n)
+	}
+}
+
+// Regression: on the seed code the delivered-rid map pruned entries older
+// than the 256-rid window, and a retransmitted reply for a pruned rid was
+// re-delivered to the client as a duplicate. The ordered window must
+// suppress anything below its floor.
+func TestFilterSuppressesRetransmissionOfPrunedRid(t *testing.T) {
+	r := trace.New()
+	w := &GroupWire{
+		filter:    FilterFirst,
+		expected:  1,
+		delivered: make(map[uint64]bool),
+		votes:     make(map[uint64]map[string]*vote),
+		floor:     1,
+	}
+	WithGroupTrace(r)(w)
+	for rid := uint64(1); rid <= 1000; rid++ {
+		if _, ok := w.filterReply(mkReply(rid, "x")); !ok {
+			t.Fatalf("fresh reply %d not delivered", rid)
+		}
+	}
+	// rid 1 fell out of the window long ago; a straggling retransmission
+	// must be suppressed, not re-delivered.
+	if _, ok := w.filterReply(mkReply(1, "x")); ok {
+		t.Fatal("retransmitted reply for a pruned rid re-delivered to the client")
+	}
+	if got := r.Value(trace.SubInterceptor, "duplicates_suppressed"); got != 1 {
+		t.Fatalf("duplicates_suppressed = %d, want 1", got)
+	}
+	if got := r.Value(trace.SubInterceptor, "replies_delivered"); got != 1000 {
+		t.Fatalf("replies_delivered = %d, want 1000", got)
+	}
+	if got := r.Value(trace.SubInterceptor, "pruned_rids"); got == 0 {
+		t.Fatal("pruned_rids counter never advanced")
+	}
+	w.mu.Lock()
+	n, floor := len(w.delivered), w.floor
+	w.mu.Unlock()
+	if n > deliveredWindow {
+		t.Fatalf("delivered map grew beyond the window: %d entries", n)
+	}
+	if floor != 1000-deliveredWindow+1 {
+		t.Fatalf("floor = %d, want %d", floor, 1000-deliveredWindow+1)
+	}
+}
+
+// Majority-vote state below the window floor must be pruned too, so a
+// stale vote cannot complete a quorum for a long-finished request.
+func TestFilterMajorityPrunesStaleVotes(t *testing.T) {
+	w := &GroupWire{
+		filter:    FilterMajority,
+		expected:  3,
+		delivered: make(map[uint64]bool),
+		votes:     make(map[uint64]map[string]*vote),
+		floor:     1,
+	}
+	// One lonely vote for rid 1 (never reaches quorum).
+	w.filterReply(mkReply(1, "x"))
+	// The run moves far ahead with quorum deliveries.
+	for rid := uint64(2); rid <= 600; rid++ {
+		w.filterReply(mkReply(rid, "x"))
+		w.filterReply(mkReply(rid, "x"))
+	}
+	w.mu.Lock()
+	_, staleVotes := w.votes[1]
+	w.mu.Unlock()
+	if staleVotes {
+		t.Fatal("vote state for rid 1 survived far behind the window")
+	}
+	// Two late votes for rid 1 must not deliver it now.
+	if _, ok := w.filterReply(mkReply(1, "x")); ok {
+		t.Fatal("stale quorum delivered below the floor")
+	}
+	if _, ok := w.filterReply(mkReply(1, "x")); ok {
+		t.Fatal("stale quorum delivered below the floor")
+	}
+}
+
+// The prune path must be O(1) amortized: delivering N replies does work
+// linear in N, not quadratic (the seed scanned the whole map per reply).
+func BenchmarkFilterFirstDelivery(b *testing.B) {
+	w := &GroupWire{
+		filter:    FilterFirst,
+		expected:  1,
+		delivered: make(map[uint64]bool),
+		votes:     make(map[uint64]map[string]*vote),
+		floor:     1,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w.filterReply(mkReply(uint64(i+1), "x"))
 	}
 }
 

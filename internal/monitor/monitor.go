@@ -12,6 +12,7 @@ package monitor
 
 import (
 	"math"
+	"slices"
 	"sync"
 
 	"versadep/internal/vtime"
@@ -86,16 +87,11 @@ func (m *LatencyMonitor) Stats() LatencyStats {
 	return st
 }
 
-// percentile computes the q-quantile (0..1) by selection; the sample sets
-// in experiments are small enough that sorting a copy is fine.
+// percentile computes the q-quantile (0..1) over a sorted copy of the
+// samples.
 func percentile(samples []vtime.Duration, q float64) vtime.Duration {
 	s := append([]vtime.Duration(nil), samples...)
-	// Insertion sort keeps this dependency-free and fast for small n.
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
+	slices.Sort(s)
 	idx := int(math.Ceil(q * float64(len(s)-1)))
 	return s[idx]
 }

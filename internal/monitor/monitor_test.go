@@ -164,3 +164,20 @@ func TestPercentileProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// The seed's insertion-sort percentile was O(n²) — a 10k-sample Stats call
+// dominated experiment teardown. This pins the sort-based replacement.
+func BenchmarkPercentile10k(b *testing.B) {
+	samples := make([]vtime.Duration, 10_000)
+	for i := range samples {
+		// Descending input: the insertion sort's worst case.
+		samples[i] = vtime.Duration(len(samples) - i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := percentile(samples, 0.99); got != 9901 {
+			b.Fatalf("p99 = %d", got)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"versadep/internal/codec"
+	"versadep/internal/trace"
 	"versadep/internal/vtime"
 )
 
@@ -18,6 +19,12 @@ type Client struct {
 
 	timeout time.Duration
 	retries int
+
+	// trace counters (nil-safe no-ops when tracing is off).
+	cInvocations *trace.Counter
+	cRetransmits *trace.Counter
+	cTimeouts    *trace.Counter
+	cDupReplies  *trace.Counter
 
 	mu      sync.Mutex
 	nextReq uint64
@@ -41,6 +48,17 @@ func WithTimeout(d time.Duration) ClientOption {
 // suppression keeps the invocation at-most-once.
 func WithRetries(n int) ClientOption {
 	return func(c *Client) { c.retries = n }
+}
+
+// WithClientTrace reports the client ORB's retransmits, timeouts and
+// duplicate-reply suppressions into r.
+func WithClientTrace(r *trace.Recorder) ClientOption {
+	return func(c *Client) {
+		c.cInvocations = r.Counter(trace.SubORB, "invocations")
+		c.cRetransmits = r.Counter(trace.SubORB, "retransmits")
+		c.cTimeouts = r.Counter(trace.SubORB, "timeouts")
+		c.cDupReplies = r.Counter(trace.SubORB, "duplicate_replies")
+	}
 }
 
 // NewClient creates a client ORB identified by id (its process address)
@@ -135,7 +153,11 @@ func (c *Client) Invoke(object, op string, args []codec.Value, now vtime.Time) (
 	led.Charge(vtime.ComponentORB, c.model.ORBMarshal)
 	sentVT := now.Add(c.model.ORBMarshal)
 
+	c.cInvocations.Inc()
 	for attempt := 0; attempt <= c.retries; attempt++ {
+		if attempt > 0 {
+			c.cRetransmits.Inc()
+		}
 		if err := c.wire.Send(reqBytes, sentVT, led); err != nil {
 			return nil, err
 		}
@@ -169,6 +191,7 @@ func (c *Client) Invoke(object, op string, args []codec.Value, now vtime.Time) (
 			return nil, ErrClosed
 		}
 	}
+	c.cTimeouts.Inc()
 	return nil, ErrTimeout
 }
 
@@ -190,11 +213,16 @@ func (c *Client) dispatch() {
 			ch := c.waiters[rid]
 			c.mu.Unlock()
 			if ch == nil {
+				// Reply to a request no invocation is waiting on: a
+				// duplicate arriving after Invoke returned (or a reply to
+				// a forgotten request).
+				c.cDupReplies.Inc()
 				continue
 			}
 			select {
 			case ch <- wr:
 			default: // duplicate reply for an already-answered request
+				c.cDupReplies.Inc()
 			}
 		case <-c.stop:
 			return

@@ -13,6 +13,7 @@ import (
 	"versadep/internal/codec"
 	"versadep/internal/orb"
 	"versadep/internal/simnet"
+	"versadep/internal/trace"
 	"versadep/internal/transport"
 	"versadep/internal/vtime"
 )
@@ -379,6 +380,79 @@ func TestInvocationTimeout(t *testing.T) {
 	}
 	if time.Since(start) < 400*time.Millisecond {
 		t.Fatal("timed out before exhausting retries")
+	}
+}
+
+// TestClientTraceCounters drives the traced client through a clean
+// invocation, a lossy retry, and a full timeout, asserting the orb.*
+// counters that the observability layer exposes.
+func TestClientTraceCounters(t *testing.T) {
+	net := simnet.New(simnet.WithSeed(5))
+	defer net.Close()
+	model := net.CostModel()
+	rec := trace.New()
+
+	sEP, err := net.Endpoint("server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd := transport.NewDemux(sEP)
+	adapter := orb.NewAdapter(model)
+	adapter.Register("Echo", &echoServant{})
+	var cpu vtime.Server
+	srv := orb.NewServer(sd.Conn(transport.ProtoVIOP), adapter, &cpu, model,
+		orb.WithServerTrace(rec))
+	sd.Handle(transport.ProtoVIOP, srv.HandleTransport)
+	sd.Start()
+	defer func() { srv.Stop(); sd.Close() }()
+
+	cEP, err := net.Endpoint("client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cd := transport.NewDemux(cEP)
+	wire := orb.NewDirectWire(cd.Conn(transport.ProtoVIOP), "server", model)
+	cd.Handle(transport.ProtoVIOP, wire.HandleTransport)
+	cd.Start()
+	client := orb.NewClient("client", wire, model,
+		orb.WithTimeout(100*time.Millisecond), orb.WithRetries(2),
+		orb.WithClientTrace(rec))
+	defer func() { client.Close(); cd.Close() }()
+
+	// Clean round trip: one invocation, no retransmits.
+	if _, err := client.Invoke("Echo", "echo", nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.Value(trace.SubORB, "invocations"); got != 1 {
+		t.Fatalf("invocations = %d, want 1", got)
+	}
+	if got := rec.Value(trace.SubORB, "retransmits"); got != 0 {
+		t.Fatalf("retransmits = %d, want 0", got)
+	}
+	if got := rec.Value(trace.SubORB, "requests_served"); got != 1 {
+		t.Fatalf("requests_served = %d, want 1", got)
+	}
+
+	// Lossy first attempt: the retry succeeds and is counted.
+	net.SetDropProb("client", "server", 1.0)
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		net.SetDropProb("client", "server", 0)
+	}()
+	if _, err := client.Invoke("Echo", "echo", nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.Value(trace.SubORB, "retransmits"); got == 0 {
+		t.Fatal("retransmits counter did not advance across a lossy attempt")
+	}
+
+	// Permanent loss: the invocation times out and is counted.
+	net.SetDropProb("client", "server", 1.0)
+	if _, err := client.Invoke("Echo", "echo", nil, 0); !errors.Is(err, orb.ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if got := rec.Value(trace.SubORB, "timeouts"); got != 1 {
+		t.Fatalf("timeouts = %d, want 1", got)
 	}
 }
 

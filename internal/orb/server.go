@@ -3,6 +3,7 @@ package orb
 import (
 	"sync"
 
+	"versadep/internal/trace"
 	"versadep/internal/transport"
 	"versadep/internal/vtime"
 )
@@ -24,6 +25,9 @@ type Server struct {
 	// not modified" mode).
 	interceptCost vtime.Duration
 
+	cServed  *trace.Counter
+	cDropped *trace.Counter
+
 	mu       sync.Mutex
 	inbox    []transport.Message
 	inNotify chan struct{}
@@ -38,6 +42,14 @@ type ServerOption func(*Server)
 // server side, charging cost per message crossing.
 func WithServerIntercept(cost vtime.Duration) ServerOption {
 	return func(s *Server) { s.interceptCost = cost }
+}
+
+// WithServerTrace reports served and dropped (undecodable) requests into r.
+func WithServerTrace(r *trace.Recorder) ServerOption {
+	return func(s *Server) {
+		s.cServed = r.Counter(trace.SubORB, "requests_served")
+		s.cDropped = r.Counter(trace.SubORB, "requests_dropped")
+	}
 }
 
 // NewServer starts a baseline server. The caller must route inbound
@@ -110,6 +122,7 @@ func (s *Server) run() {
 func (s *Server) serve(msg transport.Message) {
 	env, err := DecodeEnvelope(msg.Payload)
 	if err != nil {
+		s.cDropped.Inc()
 		return
 	}
 	led := env.Ledger
@@ -124,8 +137,10 @@ func (s *Server) serve(msg transport.Message) {
 	}
 	res, err := s.adapter.HandleRequest(s.cpu, env.Bytes, vt, led)
 	if err != nil {
+		s.cDropped.Inc()
 		return // undecodable request: drop; the client retries
 	}
+	s.cServed.Inc()
 	vt = res.DoneVT
 	led = res.Ledger
 	if s.interceptCost > 0 {

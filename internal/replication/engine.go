@@ -1,8 +1,11 @@
 package replication
 
 import (
+	"sync"
+
 	"versadep/internal/gcs"
 	"versadep/internal/orb"
+	"versadep/internal/trace"
 	"versadep/internal/vtime"
 )
 
@@ -107,6 +110,10 @@ type Config struct {
 	// CacheDepth is how many replies are retained per client for
 	// duplicate suppression (default 8).
 	CacheDepth int
+	// Trace, when non-nil, receives the engine's counters and events
+	// (checkpoints, switch latency, failover replay length, reply-cache
+	// activity). A nil recorder costs nothing on the hot paths.
+	Trace *trace.Recorder
 }
 
 type logEntry struct {
@@ -150,6 +157,26 @@ type Engine struct {
 	cmds chan func()
 	stop chan struct{}
 	done chan struct{}
+
+	// final is the snapshot the run goroutine takes as it exits, so the
+	// public getters keep answering truthfully after Stop instead of
+	// silently returning zero values.
+	finalMu sync.Mutex
+	final   *finalState
+
+	// trace counters (nil-safe no-ops when Config.Trace is unset).
+	tr              *trace.Recorder
+	cCheckpoints    *trace.Counter
+	cCkptApplied    *trace.Counter
+	cSwitchStarts   *trace.Counter
+	cSwitchDones    *trace.Counter
+	cSwitchDelay    *trace.Counter // last switch latency, µs
+	cFailovers      *trace.Counter
+	cFailoverReplay *trace.Counter // total requests replayed across failovers
+	cCacheHits      *trace.Counter
+	cCacheEvicts    *trace.Counter
+	cOrphansPruned  *trace.Counter
+	cPendingCkpts   *trace.Counter // high-water in-flight checkpoint halves
 
 	// owned by the run goroutine:
 	style     Style
@@ -202,8 +229,71 @@ func NewEngine(member *gcs.Member, adapter *orb.Adapter, cfg Config) *Engine {
 		pendMarkers: make(map[ckptKey]*pendingMarker),
 		pendStates:  make(map[ckptKey]*Msg),
 	}
+	e.initTrace(cfg.Trace)
 	go e.run()
 	return e
+}
+
+func (e *Engine) initTrace(r *trace.Recorder) {
+	e.tr = r
+	e.cCheckpoints = r.Counter(trace.SubReplication, "checkpoints")
+	e.cCkptApplied = r.Counter(trace.SubReplication, "checkpoints_applied")
+	e.cSwitchStarts = r.Counter(trace.SubReplication, "switch_starts")
+	e.cSwitchDones = r.Counter(trace.SubReplication, "switch_dones")
+	e.cSwitchDelay = r.Counter(trace.SubReplication, "switch_last_delay_us")
+	e.cFailovers = r.Counter(trace.SubReplication, "failovers")
+	e.cFailoverReplay = r.Counter(trace.SubReplication, "failover_replay_len")
+	e.cCacheHits = r.Counter(trace.SubReplication, "reply_cache_hits")
+	e.cCacheEvicts = r.Counter(trace.SubReplication, "reply_cache_evictions")
+	e.cOrphansPruned = r.Counter(trace.SubReplication, "ckpt_orphans_pruned")
+	e.cPendingCkpts = r.Counter(trace.SubReplication, "pending_checkpoints")
+}
+
+// finalState is the terminal getter snapshot (see Engine.final).
+type finalState struct {
+	stats     Stats
+	style     Style
+	role      Role
+	ckptEvery int
+	sysState  map[string]map[string]float64
+}
+
+// captureFinal snapshots getter-visible state; runs on the protocol
+// goroutine as it exits.
+func (e *Engine) captureFinal() {
+	s := e.stats
+	s.Rate = e.rate()
+	s.Style = e.style
+	s.Role = e.role()
+	s.Synced = e.synced
+	sys := make(map[string]map[string]float64, len(e.sysState))
+	for addr, m := range e.sysState {
+		cp := make(map[string]float64, len(m))
+		for k, v := range m {
+			cp[k] = v
+		}
+		sys[addr] = cp
+	}
+	e.finalMu.Lock()
+	e.final = &finalState{
+		stats:     s,
+		style:     e.style,
+		role:      e.role(),
+		ckptEvery: e.cfg.CheckpointEvery,
+		sysState:  sys,
+	}
+	e.finalMu.Unlock()
+}
+
+// finalSnap returns the terminal snapshot; do() guarantees it is set
+// before any getter falls back to it.
+func (e *Engine) finalSnap() *finalState {
+	e.finalMu.Lock()
+	defer e.finalMu.Unlock()
+	if e.final == nil {
+		return &finalState{}
+	}
+	return e.final
 }
 
 // Addr returns the replica's group address.
@@ -221,49 +311,67 @@ func (e *Engine) Stop() {
 	<-e.done
 }
 
-func (e *Engine) do(fn func()) {
+// do runs fn on the protocol goroutine, reporting false once the engine
+// has stopped. On the false path it first waits for the run goroutine to
+// exit, which guarantees the terminal snapshot is in place for the caller
+// to fall back on.
+func (e *Engine) do(fn func()) bool {
 	donec := make(chan struct{})
 	select {
 	case e.cmds <- func() { fn(); close(donec) }:
 		<-donec
+		return true
 	case <-e.stop:
+		<-e.done
+		return false
+	case <-e.done:
+		return false
 	}
 }
 
-// Style returns the current replication style.
+// Style returns the current replication style (the last one, after Stop).
 func (e *Engine) Style() Style {
 	var s Style
-	e.do(func() { s = e.style })
-	return s
+	if e.do(func() { s = e.style }) {
+		return s
+	}
+	return e.finalSnap().style
 }
 
-// Role returns this replica's current role.
+// Role returns this replica's current role (the last one, after Stop).
 func (e *Engine) Role() Role {
 	var r Role
-	e.do(func() { r = e.role() })
-	return r
+	if e.do(func() { r = e.role() }) {
+		return r
+	}
+	return e.finalSnap().role
 }
 
-// StatsSnapshot returns current statistics.
+// StatsSnapshot returns current statistics; after Stop it returns the
+// final statistics rather than zeros.
 func (e *Engine) StatsSnapshot() Stats {
 	var s Stats
-	e.do(func() {
+	ok := e.do(func() {
 		s = e.stats
 		s.Rate = e.rate()
 		s.Style = e.style
 		s.Role = e.role()
 		s.Synced = e.synced
 	})
-	return s
+	if ok {
+		return s
+	}
+	return e.finalSnap().stats
 }
 
 // SystemState returns a copy of the identically-replicated system-state
 // object (§3.1): per-replica metric maps accumulated from KindMetrics
 // messages. All replicas hold identical copies at the same stream
 // position, which is what makes policy decisions over it deterministic.
+// After Stop it returns the final copy.
 func (e *Engine) SystemState() map[string]map[string]float64 {
 	out := make(map[string]map[string]float64)
-	e.do(func() {
+	ok := e.do(func() {
 		for addr, m := range e.sysState {
 			cp := make(map[string]float64, len(m))
 			for k, v := range m {
@@ -272,7 +380,10 @@ func (e *Engine) SystemState() map[string]map[string]float64 {
 			out[addr] = cp
 		}
 	})
-	return out
+	if ok {
+		return out
+	}
+	return e.finalSnap().sysState
 }
 
 // RequestSwitch initiates a style switch (the low-level replication-style
@@ -302,11 +413,14 @@ func (e *Engine) SetCheckpointEvery(every int, now vtime.Time) {
 	})
 }
 
-// CheckpointEvery reports the current checkpointing frequency.
+// CheckpointEvery reports the current checkpointing frequency (the last
+// agreed value, after Stop).
 func (e *Engine) CheckpointEvery() int {
 	var out int
-	e.do(func() { out = e.cfg.CheckpointEvery })
-	return out
+	if e.do(func() { out = e.cfg.CheckpointEvery }) {
+		return out
+	}
+	return e.finalSnap().ckptEvery
 }
 
 // PublishMetrics multicasts this replica's monitored values into the
@@ -322,6 +436,7 @@ func (e *Engine) PublishMetrics(metrics map[string]float64, now vtime.Time) {
 
 func (e *Engine) run() {
 	defer close(e.done)
+	defer e.captureFinal()
 	for {
 		select {
 		case <-e.stop:
@@ -347,6 +462,7 @@ func (e *Engine) handleEvent(ev gcs.Event) {
 			return
 		}
 		e.pendStates[ckptKey{ev.Sender, msg.CkptSerial}] = msg
+		e.notePendingCkpts()
 		e.tryApplyCheckpoint(ev.Sender, msg.CkptSerial)
 	case gcs.EventMessage:
 		msg, err := Decode(ev.Payload)
@@ -408,16 +524,22 @@ func (e *Engine) handleView(ev gcs.Event) {
 	e.view = ev.View
 	e.prevView = prev
 
+	// A checkpoint sender that crashed between its marker and its state
+	// transfer leaves an orphaned half behind; the view change that
+	// removes the sender is the point where it can never complete.
 	for key := range e.pendMarkers {
 		if !ev.View.Contains(key.sender) {
 			delete(e.pendMarkers, key)
+			e.cOrphansPruned.Inc()
 		}
 	}
 	for key := range e.pendStates {
 		if !ev.View.Contains(key.sender) {
 			delete(e.pendStates, key)
+			e.cOrphansPruned.Inc()
 		}
 	}
+	e.notePendingCkpts()
 
 	if ev.Joined && len(ev.View.Members) > 1 {
 		// We joined a running group: wait for a state transfer.
@@ -474,8 +596,12 @@ func (e *Engine) failover(vt vtime.Time) {
 			e.setCache(e.lastCkpt.Cache)
 		}
 	}
+	replayed := int64(len(e.log))
 	vt = e.replayLog(vt)
 	e.stats.Failovers++
+	e.cFailovers.Inc()
+	e.cFailoverReplay.Add(replayed)
+	e.tr.Event(trace.SubReplication, "failover", vt, replayed)
 	e.notify(Notice{Kind: NoticeFailover, VT: vt, Delay: vt.Sub(start), Style: e.style})
 }
 
@@ -493,6 +619,7 @@ func (e *Engine) replayLog(vt vtime.Time) vtime.Time {
 		if rid <= e.highExec[cid] {
 			if cached, ok := e.replyCache[cid][rid]; ok {
 				_ = e.member.SendDirect(cid, cached, vt, vtime.Ledger{})
+				e.cCacheHits.Inc()
 			}
 			continue
 		}
@@ -523,6 +650,7 @@ func (e *Engine) handleRequest(ev gcs.Event, msg *Msg) {
 				vt := e.cpu.Execute(ev.VTime, e.cfg.Model.Intercept)
 				_ = e.member.SendDirect(cid, cached, vt, ev.Ledger)
 				e.stats.RepliesResent++
+				e.cCacheHits.Inc()
 			}
 		}
 		return
@@ -592,6 +720,7 @@ func (e *Engine) cacheReply(cid string, rid uint64, reply []byte) {
 	for old := range cache {
 		if old+uint64(e.cfg.CacheDepth) <= rid {
 			delete(cache, old)
+			e.cCacheEvicts.Inc()
 		}
 	}
 }
@@ -642,6 +771,8 @@ func (e *Engine) takeCheckpoint(vt vtime.Time, final bool, switchID uint64) {
 	}
 	e.ckptCounter = 0
 	e.stats.Checkpoints++
+	e.cCheckpoints.Inc()
+	e.tr.Event(trace.SubReplication, "checkpoint", vt, int64(e.ckptSerial))
 	e.notify(Notice{Kind: NoticeCheckpoint, VT: vt, Style: e.style})
 }
 
@@ -662,6 +793,7 @@ func (e *Engine) handleCheckpoint(ev gcs.Event, msg *Msg) {
 		return
 	}
 	e.pendMarkers[ckptKey{ev.Sender, msg.CkptSerial}] = &pendingMarker{msg: msg, vt: ev.VTime}
+	e.notePendingCkpts()
 	e.tryApplyCheckpoint(ev.Sender, msg.CkptSerial)
 }
 
@@ -676,6 +808,24 @@ func (e *Engine) tryApplyCheckpoint(sender string, serial uint64) {
 	}
 	delete(e.pendMarkers, key)
 	delete(e.pendStates, key)
+	e.cCkptApplied.Inc()
+	// A completed checkpoint supersedes any older halves from the same
+	// sender still waiting for their counterpart (e.g. a state transfer
+	// whose marker was lost to view-change recovery): they can never be
+	// applied and would otherwise sit in the pending maps forever.
+	for k := range e.pendMarkers {
+		if k.sender == sender && k.serial < serial {
+			delete(e.pendMarkers, k)
+			e.cOrphansPruned.Inc()
+		}
+	}
+	for k := range e.pendStates {
+		if k.sender == sender && k.serial < serial {
+			delete(e.pendStates, k)
+			e.cOrphansPruned.Inc()
+		}
+	}
+	e.notePendingCkpts()
 	marker := pm.msg
 
 	if e.style == ColdPassive && e.synced {
@@ -846,4 +996,26 @@ func (e *Engine) notify(n Notice) {
 		n.Addr = e.Addr()
 		e.cfg.Observer(n)
 	}
+	switch n.Kind {
+	case NoticeSwitchStart:
+		e.cSwitchStarts.Inc()
+	case NoticeSwitchDone:
+		e.cSwitchDones.Inc()
+		e.cSwitchDelay.Store(n.Delay.Microseconds())
+		e.tr.Event(trace.SubReplication, "switch_done", n.VT, n.Delay.Microseconds())
+	}
+}
+
+// notePendingCkpts records the high-water number of in-flight checkpoint
+// halves (markers or states awaiting their counterpart).
+func (e *Engine) notePendingCkpts() {
+	e.cPendingCkpts.Max(int64(len(e.pendMarkers) + len(e.pendStates)))
+}
+
+// PendingCheckpoints reports how many checkpoint halves are currently
+// waiting for their counterpart (0 after Stop).
+func (e *Engine) PendingCheckpoints() int {
+	var n int
+	e.do(func() { n = len(e.pendMarkers) + len(e.pendStates) })
+	return n
 }

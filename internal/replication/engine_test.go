@@ -1,0 +1,157 @@
+package replication
+
+import (
+	"testing"
+	"time"
+
+	"versadep/internal/gcs"
+	"versadep/internal/orb"
+	"versadep/internal/simnet"
+	"versadep/internal/trace"
+	"versadep/internal/transport"
+	"versadep/internal/vtime"
+)
+
+type memState struct{ state []byte }
+
+func (s *memState) State() []byte { return append([]byte(nil), s.state...) }
+func (s *memState) Restore(b []byte) error {
+	s.state = append([]byte(nil), b...)
+	return nil
+}
+
+// startEngine boots a singleton-group member and an engine on it.
+func startEngine(t *testing.T, addr string, cfg Config) (*Engine, *gcs.Member) {
+	t.Helper()
+	net := simnet.New(simnet.WithSeed(3))
+	t.Cleanup(func() { net.Close() })
+	ep, err := net.Endpoint(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := transport.NewDemux(ep)
+	gcfg := gcs.DefaultConfig()
+	m := gcs.Open(d.Conn(transport.ProtoGCS), d.Conn(transport.ProtoGroupClient), gcfg)
+	d.Handle(transport.ProtoGCS, m.HandleTransport)
+	d.Start()
+	t.Cleanup(m.Stop)
+	adapter := orb.NewAdapter(vtime.DefaultCostModel())
+	if cfg.Model == (vtime.CostModel{}) {
+		cfg.Model = vtime.DefaultCostModel()
+	}
+	if cfg.State == nil {
+		cfg.State = &memState{}
+	}
+	e := NewEngine(m, adapter, cfg)
+	t.Cleanup(e.Stop)
+	return e, m
+}
+
+// Regression: on the seed code every getter went through do(), which
+// silently no-ops once the engine is stopped, so Style/Role/StatsSnapshot/
+// CheckpointEvery/SystemState all returned zero values after Stop. The
+// engine must retain a final snapshot instead.
+func TestGettersSurviveStop(t *testing.T) {
+	e, _ := startEngine(t, "g1", Config{Style: WarmPassive, CheckpointEvery: 5})
+
+	// Wait until the engine has processed its bootstrap view.
+	deadline := time.Now().Add(2 * time.Second)
+	for e.Role() != RolePrimary {
+		if time.Now().After(deadline) {
+			t.Fatal("engine never became primary of its singleton group")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	e.PublishMetrics(map[string]float64{"load": 1.5}, 0)
+	// Wait for the metrics multicast to come back through the stream.
+	for len(e.SystemState()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("metrics never delivered")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	e.Stop()
+
+	if got := e.Style(); got != WarmPassive {
+		t.Fatalf("Style after Stop = %v, want %v", got, WarmPassive)
+	}
+	if got := e.Role(); got != RolePrimary {
+		t.Fatalf("Role after Stop = %v, want %v", got, RolePrimary)
+	}
+	if got := e.CheckpointEvery(); got != 5 {
+		t.Fatalf("CheckpointEvery after Stop = %d, want 5", got)
+	}
+	if got := e.StatsSnapshot(); got.Style != WarmPassive || got.Role != RolePrimary || !got.Synced {
+		t.Fatalf("StatsSnapshot after Stop = %+v", got)
+	}
+	if got := e.SystemState(); got["g1"]["load"] != 1.5 {
+		t.Fatalf("SystemState after Stop = %v", got)
+	}
+	// Mutators after Stop must return without hanging.
+	done := make(chan struct{})
+	go func() {
+		e.RequestSwitch(Active, 0)
+		e.PublishMetrics(map[string]float64{"x": 1}, 0)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("mutator hung after Stop")
+	}
+}
+
+// Regression: a checkpoint half whose counterpart can never arrive
+// (sender crashed between marker and state, or an older serial superseded
+// by a newer completed checkpoint) must be pruned, not retained forever.
+func TestCheckpointOrphansPruned(t *testing.T) {
+	rec := trace.New()
+	e, _ := startEngine(t, "r1", Config{Style: WarmPassive, Trace: rec})
+
+	deadline := time.Now().Add(2 * time.Second)
+	for e.Role() != RolePrimary {
+		if time.Now().After(deadline) {
+			t.Fatal("engine never processed its bootstrap view")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Superseded serial: an orphaned state half (serial 1, marker lost)
+	// must be dropped when serial 2 from the same sender completes. On the
+	// seed code it survived indefinitely.
+	e.do(func() {
+		e.view = gcs.View{ID: 2, Members: []string{"r1", "r2"}}
+		e.pendStates[ckptKey{"r2", 1}] = &Msg{Kind: KindState, State: []byte("old"), CkptSerial: 1}
+		e.pendMarkers[ckptKey{"r2", 2}] = &pendingMarker{msg: &Msg{Kind: KindCheckpoint, CkptSerial: 2}}
+		e.pendStates[ckptKey{"r2", 2}] = &Msg{Kind: KindState, State: []byte("new"), CkptSerial: 2}
+		e.notePendingCkpts() // insertion sites normally record the gauge
+		e.tryApplyCheckpoint("r2", 2)
+	})
+	if n := e.PendingCheckpoints(); n != 0 {
+		t.Fatalf("pending checkpoint halves after superseding apply = %d, want 0", n)
+	}
+	if got := rec.Value(trace.SubReplication, "ckpt_orphans_pruned"); got != 1 {
+		t.Fatalf("ckpt_orphans_pruned = %d, want 1", got)
+	}
+	if got := rec.Value(trace.SubReplication, "checkpoints_applied"); got != 1 {
+		t.Fatalf("checkpoints_applied = %d, want 1", got)
+	}
+
+	// Crash mid-checkpoint: r2's marker arrived, its state never will; the
+	// view change that removes r2 prunes the orphan.
+	e.do(func() {
+		e.pendMarkers[ckptKey{"r2", 3}] = &pendingMarker{msg: &Msg{Kind: KindCheckpoint, CkptSerial: 3}}
+		e.handleView(gcs.Event{Kind: gcs.EventView, View: gcs.View{ID: 3, Members: []string{"r1"}}})
+	})
+	if n := e.PendingCheckpoints(); n != 0 {
+		t.Fatalf("pending checkpoint halves after crash view = %d, want 0", n)
+	}
+	if got := rec.Value(trace.SubReplication, "ckpt_orphans_pruned"); got != 2 {
+		t.Fatalf("ckpt_orphans_pruned = %d, want 2", got)
+	}
+	// The high-water gauge saw all three in-flight halves at once.
+	if got := rec.Value(trace.SubReplication, "pending_checkpoints"); got < 3 {
+		t.Fatalf("pending_checkpoints high-water = %d, want >= 3", got)
+	}
+}

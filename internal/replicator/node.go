@@ -25,6 +25,7 @@ import (
 	"versadep/internal/interceptor"
 	"versadep/internal/orb"
 	"versadep/internal/replication"
+	"versadep/internal/trace"
 	"versadep/internal/transport"
 	"versadep/internal/vtime"
 )
@@ -35,6 +36,7 @@ type ReplicaNode struct {
 	member  *gcs.Member
 	adapter *orb.Adapter
 	engine  *replication.Engine
+	trace   *trace.Recorder
 }
 
 // ReplicaConfig bundles the per-replica configuration.
@@ -47,6 +49,10 @@ type ReplicaConfig struct {
 	// Replication is the engine configuration (style, checkpoints,
 	// state, adaptation policy, observer).
 	Replication replication.Config
+	// Trace receives the node's counters and events across every layer
+	// (GCS member + replication engine). When nil, the node creates its
+	// own recorder; either way it is reachable via ReplicaNode.Trace.
+	Trace *trace.Recorder
 }
 
 // StartReplica launches a replica node on ep.
@@ -63,6 +69,13 @@ func StartReplica(ep transport.MultiEndpoint, cfg ReplicaConfig) *ReplicaNode {
 		gcfg.Seed = uint64(len(ep.Addr())) + 11
 	}
 
+	rec := cfg.Trace
+	if rec == nil {
+		rec = trace.New()
+	}
+	gcfg.Trace = rec
+	cfg.Replication.Trace = rec
+
 	member := gcs.Open(d.Conn(transport.ProtoGCS), d.Conn(transport.ProtoGroupClient), gcfg)
 	d.Handle(transport.ProtoGCS, member.HandleTransport)
 	// Replicas also receive point-to-point traffic addressed to them as
@@ -73,7 +86,7 @@ func StartReplica(ep transport.MultiEndpoint, cfg ReplicaConfig) *ReplicaNode {
 	engine := replication.NewEngine(member, adapter, cfg.Replication)
 
 	d.Start()
-	return &ReplicaNode{demux: d, member: member, adapter: adapter, engine: engine}
+	return &ReplicaNode{demux: d, member: member, adapter: adapter, engine: engine, trace: rec}
 }
 
 // Addr returns the node's transport address.
@@ -89,6 +102,13 @@ func (n *ReplicaNode) Engine() *replication.Engine { return n.engine }
 
 // Member exposes the group-communication member.
 func (n *ReplicaNode) Member() *gcs.Member { return n.member }
+
+// Trace exposes the node's trace recorder.
+func (n *ReplicaNode) Trace() *trace.Recorder { return n.trace }
+
+// TraceSnapshot returns a consistent snapshot of the node's counters and
+// recent events.
+func (n *ReplicaNode) TraceSnapshot() trace.Snapshot { return n.trace.Snapshot() }
 
 // Stop shuts the node's goroutines down (does not announce a leave; pair
 // with a network crash to simulate process failure, or call Leave first
@@ -112,6 +132,7 @@ type ClientNode struct {
 	demux  *transport.Demux
 	wire   *interceptor.GroupWire
 	client *orb.Client
+	trace  *trace.Recorder
 }
 
 // ClientConfig bundles the per-client configuration.
@@ -128,6 +149,10 @@ type ClientConfig struct {
 	Timeout time.Duration
 	// Retries bounds retransmissions per invocation.
 	Retries int
+	// Trace receives the client's counters (ORB retransmits/timeouts and
+	// interceptor filter outcomes). When nil, the node creates its own
+	// recorder; either way it is reachable via ClientNode.Trace.
+	Trace *trace.Recorder
 }
 
 // StartClient launches a client node on ep.
@@ -139,7 +164,12 @@ func StartClient(ep transport.MultiEndpoint, cfg ClientConfig) *ClientNode {
 	gc := gcs.NewClient(d.Conn(transport.ProtoGCS), gcc)
 	d.Handle(transport.ProtoGroupClient, gc.HandleTransport)
 
-	opts := []interceptor.GroupWireOption{}
+	rec := cfg.Trace
+	if rec == nil {
+		rec = trace.New()
+	}
+
+	opts := []interceptor.GroupWireOption{interceptor.WithGroupTrace(rec)}
 	if cfg.Filter != 0 {
 		opts = append(opts, interceptor.WithFilter(cfg.Filter))
 	}
@@ -148,7 +178,7 @@ func StartClient(ep transport.MultiEndpoint, cfg ClientConfig) *ClientNode {
 	}
 	wire := interceptor.NewGroupWire(gc, cfg.Model, opts...)
 
-	copts := []orb.ClientOption{}
+	copts := []orb.ClientOption{orb.WithClientTrace(rec)}
 	if cfg.Timeout > 0 {
 		copts = append(copts, orb.WithTimeout(cfg.Timeout))
 	}
@@ -158,7 +188,7 @@ func StartClient(ep transport.MultiEndpoint, cfg ClientConfig) *ClientNode {
 	client := orb.NewClient(ep.Addr(), wire, cfg.Model, copts...)
 
 	d.Start()
-	return &ClientNode{demux: d, wire: wire, client: client}
+	return &ClientNode{demux: d, wire: wire, client: client, trace: rec}
 }
 
 // Addr returns the client's transport address.
@@ -179,6 +209,13 @@ func (c *ClientNode) ORB() *orb.Client { return c.client }
 
 // Wire exposes the group wire (to retune voting thresholds).
 func (c *ClientNode) Wire() *interceptor.GroupWire { return c.wire }
+
+// Trace exposes the client node's trace recorder.
+func (c *ClientNode) Trace() *trace.Recorder { return c.trace }
+
+// TraceSnapshot returns a consistent snapshot of the client's counters
+// and recent events.
+func (c *ClientNode) TraceSnapshot() trace.Snapshot { return c.trace.Snapshot() }
 
 // Stop shuts the client node down.
 func (c *ClientNode) Stop() {

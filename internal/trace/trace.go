@@ -1,0 +1,288 @@
+// Package trace is the observability spine of the replicator stack: a
+// lightweight, allocation-conscious tracing and counter registry that every
+// layer — ORB, interceptor, group communication, replication engine, fault
+// injector — reports into.
+//
+// The paper's adaptation loop begins with "monitoring various system
+// metrics … to evaluate the conditions in the working environment" (§2,
+// step 1). The monitor package covers the client-visible quantities
+// (latency, jitter, bandwidth); this package covers the stack's internals:
+// retransmissions, duplicate suppressions, view changes, checkpoint and
+// switch activity, failover replay lengths. Experiments plot these next to
+// the Figure 6-style series via the monitor.Series bridge, and tests assert
+// on them directly instead of inferring internal behavior from end-to-end
+// timing.
+//
+// Design constraints, in order:
+//
+//   - Hot-path cost ≈ one atomic add. Subsystems resolve Counter pointers
+//     once at construction; Inc/Add never touch the registry map.
+//   - Nil-safety everywhere. A nil *Recorder hands out nil *Counters whose
+//     methods are no-ops, so call sites are never gated on "is tracing on".
+//   - Deterministic dumps. Snapshots order counters by registration and
+//     events by record order, so two runs with the same seed produce
+//     byte-identical JSON.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"versadep/internal/monitor"
+	"versadep/internal/vtime"
+)
+
+// Subsystem names used throughout the stack. Counters are namespaced as
+// "<subsystem>.<name>" in snapshots and series labels.
+const (
+	SubORB         = "orb"
+	SubInterceptor = "intercept"
+	SubGCS         = "gcs"
+	SubReplication = "replication"
+	SubFaults      = "faults"
+)
+
+// Counter is a monotonic (or gauge, via Store/Max) int64 register. The zero
+// value is usable; a nil Counter is a no-op, which is how tracing stays
+// free when no Recorder is attached.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Store sets the register to n (gauge semantics: queue depths, last-seen
+// latencies).
+func (c *Counter) Store(n int64) {
+	if c != nil {
+		c.v.Store(n)
+	}
+}
+
+// Max raises the register to n if n is larger (high-watermark gauges).
+func (c *Counter) Max(n int64) {
+	if c == nil {
+		return
+	}
+	for {
+		cur := c.v.Load()
+		if n <= cur || c.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Load returns the current value; zero on a nil Counter.
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Event is one typed occurrence in a subsystem: a view change, a switch
+// completing, a fault step firing. Events are sparse (protocol milestones,
+// not per-message traffic), so a small ring suffices.
+type Event struct {
+	// Sub is the reporting subsystem.
+	Sub string `json:"sub"`
+	// Name labels the occurrence (e.g. "view_change", "switch_done").
+	Name string `json:"name"`
+	// VT is the virtual instant of the occurrence.
+	VT vtime.Time `json:"vt"`
+	// Value carries an event-specific quantity (view size, switch latency
+	// in nanoseconds, replayed log length); zero when meaningless.
+	Value int64 `json:"value"`
+}
+
+// DefaultEventCap is the ring capacity used by New.
+const DefaultEventCap = 1024
+
+// Recorder is a registry of named counters plus a bounded ring of typed
+// events. All methods are safe for concurrent use and no-ops on nil.
+type Recorder struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	order    []string // registration order, for deterministic dumps
+
+	events  []Event // ring storage
+	evNext  int     // next write slot
+	evCount int     // total events ever recorded
+	evCap   int
+}
+
+// New creates a recorder with the default event capacity.
+func New() *Recorder { return NewWithCap(DefaultEventCap) }
+
+// NewWithCap creates a recorder retaining up to cap events (older events
+// are overwritten). cap <= 0 disables event retention; counters still work.
+func NewWithCap(cap int) *Recorder {
+	return &Recorder{
+		counters: make(map[string]*Counter),
+		evCap:    cap,
+	}
+}
+
+// Counter returns the register for sub.name, creating it on first use.
+// Callers resolve counters once and keep the pointer; a nil Recorder
+// returns a nil (no-op) Counter.
+func (r *Recorder) Counter(sub, name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	key := sub + "." + name
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[key]
+	if c == nil {
+		c = &Counter{}
+		r.counters[key] = c
+		r.order = append(r.order, key)
+	}
+	return c
+}
+
+// Value reads the current value of sub.name without registering it; zero
+// when absent or on a nil Recorder. Intended for tests and dashboards.
+func (r *Recorder) Value(sub, name string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	c := r.counters[sub+"."+name]
+	r.mu.Unlock()
+	return c.Load()
+}
+
+// Event records a typed occurrence. No-op on a nil Recorder or when the
+// event ring is disabled.
+func (r *Recorder) Event(sub, name string, vt vtime.Time, value int64) {
+	if r == nil || r.evCap <= 0 {
+		return
+	}
+	e := Event{Sub: sub, Name: name, VT: vt, Value: value}
+	r.mu.Lock()
+	if len(r.events) < r.evCap {
+		r.events = append(r.events, e)
+	} else {
+		r.events[r.evNext] = e
+	}
+	r.evNext = (r.evNext + 1) % r.evCap
+	r.evCount++
+	r.mu.Unlock()
+}
+
+// Snapshot is a point-in-time copy of the registry.
+type Snapshot struct {
+	// Counters maps "sub.name" to its value.
+	Counters map[string]int64 `json:"counters"`
+	// Events are the retained events, oldest first.
+	Events []Event `json:"events,omitempty"`
+	// EventsDropped counts events that fell out of the ring.
+	EventsDropped int `json:"events_dropped,omitempty"`
+}
+
+// Get returns the snapshot value of sub.name (zero when absent).
+func (s Snapshot) Get(sub, name string) int64 { return s.Counters[sub+"."+name] }
+
+// Snapshot copies the current counter values and retained events. A nil
+// Recorder yields an empty snapshot.
+func (r *Recorder) Snapshot() Snapshot {
+	snap := Snapshot{Counters: make(map[string]int64)}
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for key, c := range r.counters {
+		snap.Counters[key] = c.Load()
+	}
+	if n := len(r.events); n > 0 {
+		snap.Events = make([]Event, 0, n)
+		start := 0
+		if r.evCount > n { // ring wrapped: oldest is at evNext
+			start = r.evNext
+		}
+		for i := 0; i < n; i++ {
+			snap.Events = append(snap.Events, r.events[(start+i)%n])
+		}
+		snap.EventsDropped = r.evCount - n
+	}
+	return snap
+}
+
+// JSON renders the snapshot with counters in sorted-key order, so dumps
+// diff cleanly across runs.
+func (s Snapshot) JSON() []byte {
+	keys := make([]string, 0, len(s.Counters))
+	for k := range s.Counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	type kv struct {
+		Name  string `json:"name"`
+		Value int64  `json:"value"`
+	}
+	ordered := make([]kv, 0, len(keys))
+	for _, k := range keys {
+		ordered = append(ordered, kv{k, s.Counters[k]})
+	}
+	out, err := json.MarshalIndent(struct {
+		Counters      []kv    `json:"counters"`
+		Events        []Event `json:"events,omitempty"`
+		EventsDropped int     `json:"events_dropped,omitempty"`
+	}{ordered, s.Events, s.EventsDropped}, "", "  ")
+	if err != nil { // unreachable: all fields are marshalable
+		return []byte(fmt.Sprintf("%q", err.Error()))
+	}
+	return out
+}
+
+// SampleSeries appends every counter's current value to s at virtual time
+// vt, labeled "sub.name" — the bridge that lets experiments plot internal
+// counters as time series next to Figure 6-style data. No-op on nil.
+func (r *Recorder) SampleSeries(s *monitor.Series, vt vtime.Time) {
+	if r == nil || s == nil {
+		return
+	}
+	r.mu.Lock()
+	keys := append([]string(nil), r.order...)
+	vals := make([]int64, len(keys))
+	for i, k := range keys {
+		vals[i] = r.counters[k].Load()
+	}
+	r.mu.Unlock()
+	for i, k := range keys {
+		s.Add(vt, float64(vals[i]), k)
+	}
+}
+
+// Merge sums every counter of each snapshot into one aggregate — the
+// cluster-wide totals an experiment reports when each node has its own
+// Recorder. Events are concatenated in argument order.
+func Merge(snaps ...Snapshot) Snapshot {
+	out := Snapshot{Counters: make(map[string]int64)}
+	for _, s := range snaps {
+		for k, v := range s.Counters {
+			out.Counters[k] += v
+		}
+		out.Events = append(out.Events, s.Events...)
+		out.EventsDropped += s.EventsDropped
+	}
+	return out
+}
