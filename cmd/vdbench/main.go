@@ -19,6 +19,7 @@ import (
 
 	"versadep/internal/experiment"
 	"versadep/internal/knobs"
+	"versadep/internal/trace"
 )
 
 func main() {
@@ -28,21 +29,27 @@ func main() {
 		seed     = flag.Uint64("seed", 0, "deterministic seed (default harness setting)")
 		replicas = flag.Int("replicas", 3, "max replicas for the fig7 sweep")
 		clients  = flag.Int("clients", 5, "max clients for the fig7 sweep")
+		traceDmp = flag.Bool("trace", false, "dump each scenario's merged trace registry (counters, histograms, spans) as JSON after it runs")
 	)
 	flag.Parse()
-	if err := run(*exp, *requests, *seed, *replicas, *clients); err != nil {
+	if err := run(*exp, *requests, *seed, *replicas, *clients, *traceDmp); err != nil {
 		fmt.Fprintln(os.Stderr, "vdbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, requests int, seed uint64, maxReplicas, maxClients int) error {
+func run(exp string, requests int, seed uint64, maxReplicas, maxClients int, traceDump bool) error {
 	o := experiment.DefaultOptions()
 	if requests > 0 {
 		o.Requests = requests
 	}
 	if seed > 0 {
 		o.Seed = seed
+	}
+	if traceDump {
+		o.TraceSink = func(label string, snap trace.Snapshot) {
+			fmt.Printf("\ntrace[%s]:\n%s\n", label, snap.JSON())
+		}
 	}
 
 	want := func(name string) bool { return exp == "all" || strings.EqualFold(exp, name) }

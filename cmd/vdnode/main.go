@@ -30,6 +30,7 @@ import (
 	"syscall"
 	"time"
 
+	"versadep/internal/introspect"
 	"versadep/internal/replication"
 	"versadep/internal/replicator"
 	"versadep/internal/transport/tcptransport"
@@ -48,9 +49,10 @@ func main() {
 		style    = flag.String("style", "active", "replication style (replica role)")
 		requests = flag.Int("requests", 100, "requests to issue (client role)")
 		traceDmp = flag.Bool("trace", false, "dump the trace-counter registry as JSON on exit")
+		intro    = flag.String("introspect", "", "host:port for the live introspection endpoint (/metrics, /trace, /debug/pprof)")
 	)
 	flag.Parse()
-	if err := run(*role, *name, *bind, *peersStr, *seedsStr, *members, *style, *requests, *traceDmp); err != nil {
+	if err := run(*role, *name, *bind, *peersStr, *seedsStr, *members, *style, *requests, *traceDmp, *intro); err != nil {
 		fmt.Fprintln(os.Stderr, "vdnode:", err)
 		os.Exit(1)
 	}
@@ -85,7 +87,7 @@ func splitList(s string) []string {
 	return out
 }
 
-func run(role, name, bind, peersStr, seedsStr, membersStr, styleName string, requests int, traceDump bool) error {
+func run(role, name, bind, peersStr, seedsStr, membersStr, styleName string, requests int, traceDump bool, intro string) error {
 	if name == "" || bind == "" {
 		return fmt.Errorf("-name and -bind are required")
 	}
@@ -100,16 +102,30 @@ func run(role, name, bind, peersStr, seedsStr, membersStr, styleName string, req
 
 	switch role {
 	case "replica":
-		return runReplica(ep, splitList(seedsStr), styleName, traceDump)
+		return runReplica(ep, splitList(seedsStr), styleName, traceDump, intro)
 	case "client":
-		return runClient(ep, splitList(membersStr), requests, traceDump)
+		return runClient(ep, splitList(membersStr), requests, traceDump, intro)
 	default:
 		_ = ep.Close()
 		return fmt.Errorf("unknown role %q", role)
 	}
 }
 
-func runReplica(ep *tcptransport.Endpoint, seeds []string, styleName string, traceDump bool) error {
+// serveIntrospect starts the live observability endpoint when addr is
+// nonempty, returning a cleanup func (a no-op when disabled).
+func serveIntrospect(addr string, src introspect.Source) (func(), error) {
+	if addr == "" {
+		return func() {}, nil
+	}
+	s, err := introspect.Start(addr, src)
+	if err != nil {
+		return nil, fmt.Errorf("introspect: %w", err)
+	}
+	fmt.Printf("introspection at http://%s/ (/metrics, /trace, /debug/pprof)\n", s.Addr())
+	return func() { _ = s.Close() }, nil
+}
+
+func runReplica(ep *tcptransport.Endpoint, seeds []string, styleName string, traceDump bool, intro string) error {
 	style, err := replication.ParseStyle(styleName)
 	if err != nil {
 		return err
@@ -138,6 +154,12 @@ func runReplica(ep *tcptransport.Endpoint, seeds []string, styleName string, tra
 		},
 	})
 	node.Register("Bench", app)
+	closeIntro, err := serveIntrospect(intro, node.TraceSnapshot)
+	if err != nil {
+		node.Leave()
+		return err
+	}
+	defer closeIntro()
 	fmt.Printf("[%s] replica up (%s) at %s, seeds=%v\n",
 		ep.Addr(), style, ep.BoundAddr(), seeds)
 
@@ -167,7 +189,7 @@ func runReplica(ep *tcptransport.Endpoint, seeds []string, styleName string, tra
 	}
 }
 
-func runClient(ep *tcptransport.Endpoint, members []string, requests int, traceDump bool) error {
+func runClient(ep *tcptransport.Endpoint, members []string, requests int, traceDump bool, intro string) error {
 	if len(members) == 0 {
 		_ = ep.Close()
 		return fmt.Errorf("-members is required for the client role")
@@ -179,6 +201,11 @@ func runClient(ep *tcptransport.Endpoint, members []string, requests int, traceD
 		Retries: 10,
 	})
 	defer client.Stop()
+	closeIntro, err := serveIntrospect(intro, client.TraceSnapshot)
+	if err != nil {
+		return err
+	}
+	defer closeIntro()
 
 	start := time.Now()
 	var last int64

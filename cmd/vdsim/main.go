@@ -14,12 +14,16 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"versadep/internal/experiment"
 	"versadep/internal/monitor"
 	"versadep/internal/replication"
+	"versadep/internal/trace"
+	"versadep/internal/trace/span"
 	"versadep/internal/vtime"
 )
 
@@ -35,16 +39,17 @@ func main() {
 		switchAt  = flag.Int("switch-at", 0, "request index at which to switch")
 		crashAt   = flag.Int("crash-primary-at", 0, "request index at which to crash the rank-0 replica")
 		traceDump = flag.Bool("trace", false, "dump the merged trace-counter registry as JSON on exit")
+		spanDump  = flag.Int("spans", 0, "print causal span timelines for the first N request traces plus all protocol phases")
 	)
 	flag.Parse()
-	if err := run(*styleName, *replicas, *clients, *requests, *ckpt, *seed, *switchTo, *switchAt, *crashAt, *traceDump); err != nil {
+	if err := run(*styleName, *replicas, *clients, *requests, *ckpt, *seed, *switchTo, *switchAt, *crashAt, *traceDump, *spanDump); err != nil {
 		fmt.Fprintln(os.Stderr, "vdsim:", err)
 		os.Exit(1)
 	}
 }
 
 func run(styleName string, replicas, clients, requests, ckpt int, seed uint64,
-	switchTo string, switchAt, crashAt int, traceDump bool) error {
+	switchTo string, switchAt, crashAt int, traceDump bool, spanDump int) error {
 	style, err := replication.ParseStyle(styleName)
 	if err != nil {
 		return err
@@ -108,25 +113,90 @@ func run(styleName string, replicas, clients, requests, ckpt int, seed uint64,
 	if traceDump {
 		fmt.Printf("\ntrace:\n%s\n", scn.TraceSnapshot().JSON())
 	}
+	if spanDump > 0 {
+		printSpans(scn.TraceSnapshot(), spanDump)
+	}
 
 	mu.Lock()
 	defer mu.Unlock()
 	if len(notices) > 0 {
-		fmt.Println("\nevents:")
-		for _, n := range notices {
-			switch n.Kind {
-			case replication.NoticeSwitchStart:
-				fmt.Printf("  %-10s switch to %s starting at t=%s\n", n.Addr, n.Style, n.VT)
-			case replication.NoticeSwitchDone:
-				fmt.Printf("  %-10s switch to %s done (delay %.1fµs)\n",
-					n.Addr, n.Style, n.Delay.Seconds()*1e6)
-			case replication.NoticeFailover:
-				fmt.Printf("  %-10s failover complete (recovery %.1fµs)\n",
-					n.Addr, n.Delay.Seconds()*1e6)
-			case replication.NoticeCheckpoint:
-				// Checkpoints are frequent; summarize only.
-			}
-		}
+		printNotices(notices)
 	}
 	return nil
+}
+
+// printSpans renders per-request causal timelines (the paper's Figure 3
+// round-trip breakdown, reconstructed from spans) for the first maxReq
+// request traces, then every protocol-phase trace (switches, failovers,
+// checkpoints) in full.
+func printSpans(snap trace.Snapshot, maxReq int) {
+	spans := snap.Spans
+	var reqs, protos []string
+	for _, tk := range span.Traces(spans) {
+		if strings.HasPrefix(tk, "req:") {
+			reqs = append(reqs, tk)
+		} else {
+			protos = append(protos, tk)
+		}
+	}
+	fmt.Printf("\nspans: %d recorded (%d dropped, %d still open), %d request traces\n",
+		len(spans), snap.SpansDropped, snap.SpansOpen, len(reqs))
+	if len(reqs) > maxReq {
+		fmt.Printf("  (showing first %d request traces; raise -spans for more)\n", maxReq)
+		reqs = reqs[:maxReq]
+	}
+	for _, tk := range reqs {
+		printTimeline(spans, tk)
+		bd := span.Breakdown(spans, tk)
+		comps := make([]string, 0, len(bd))
+		for c := range bd {
+			comps = append(comps, c)
+		}
+		sort.Strings(comps)
+		fmt.Printf("    breakdown:")
+		for _, c := range comps {
+			fmt.Printf(" %s=%.1fµs", c, bd[c].Seconds()*1e6)
+		}
+		fmt.Println()
+	}
+	for _, tk := range protos {
+		printTimeline(spans, tk)
+	}
+}
+
+func printTimeline(spans []span.Span, tk string) {
+	tl := span.Timeline(spans, tk)
+	fmt.Printf("  %s\n", tk)
+	for _, s := range tl {
+		line := fmt.Sprintf("    %-12s %-20s %10s → %-10s %8.1fµs",
+			s.Node, s.Name, s.Start, s.End, s.Duration().Seconds()*1e6)
+		if s.Comp != "" {
+			line += "  [" + s.Comp + "]"
+		}
+		if s.Note != "" {
+			line += "  (" + s.Note + ")"
+		}
+		if s.Value != 0 {
+			line += fmt.Sprintf("  value=%d", s.Value)
+		}
+		fmt.Println(line)
+	}
+}
+
+func printNotices(notices []replication.Notice) {
+	fmt.Println("\nevents:")
+	for _, n := range notices {
+		switch n.Kind {
+		case replication.NoticeSwitchStart:
+			fmt.Printf("  %-10s switch to %s starting at t=%s\n", n.Addr, n.Style, n.VT)
+		case replication.NoticeSwitchDone:
+			fmt.Printf("  %-10s switch to %s done (delay %.1fµs)\n",
+				n.Addr, n.Style, n.Delay.Seconds()*1e6)
+		case replication.NoticeFailover:
+			fmt.Printf("  %-10s failover complete (recovery %.1fµs)\n",
+				n.Addr, n.Delay.Seconds()*1e6)
+		case replication.NoticeCheckpoint:
+			// Checkpoints are frequent; summarize only.
+		}
+	}
 }

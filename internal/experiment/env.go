@@ -17,6 +17,7 @@ import (
 	"versadep/internal/replication"
 	"versadep/internal/replicator"
 	"versadep/internal/simnet"
+	"versadep/internal/trace"
 	"versadep/internal/vtime"
 	"versadep/internal/workload"
 )
@@ -42,6 +43,12 @@ type Options struct {
 	// Voting enables majority voting instead of first-response
 	// filtering at clients.
 	Voting bool
+	// TraceSink, when set, receives each environment's merged cross-node
+	// trace snapshot (counters, histograms, causal spans of every replica
+	// and client) as the environment shuts down, labeled
+	// "<style>-r<replicas>-c<clients>". vdbench -trace wires this to a
+	// JSON dump per scenario.
+	TraceSink func(label string, snap trace.Snapshot)
 }
 
 // DefaultOptions returns the calibrated configuration used throughout the
@@ -76,6 +83,7 @@ type env struct {
 	apps    []*workload.BenchApp
 	clients []*replicator.ClientNode
 	opts    Options
+	label   string
 }
 
 // buildEnv boots a group of n replicas in the given style plus c clients.
@@ -84,7 +92,7 @@ func buildEnv(o Options, style replication.Style, replicas, clients int,
 	adapt replication.AdaptPolicy, observer func(replication.Notice)) (*env, error) {
 	model := o.Model
 	net := simnet.New(simnet.WithCostModel(model), simnet.WithSeed(o.Seed))
-	e := &env{net: net, opts: o}
+	e := &env{net: net, opts: o, label: fmt.Sprintf("%s-r%d-c%d", style, replicas, clients)}
 
 	var seeds []string
 	for i := 0; i < replicas; i++ {
@@ -167,6 +175,16 @@ func (e *env) waitGroupSize(want int) error {
 }
 
 func (e *env) close() {
+	if e.opts.TraceSink != nil {
+		snaps := make([]trace.Snapshot, 0, len(e.nodes)+len(e.clients))
+		for _, n := range e.nodes {
+			snaps = append(snaps, n.TraceSnapshot())
+		}
+		for _, c := range e.clients {
+			snaps = append(snaps, c.TraceSnapshot())
+		}
+		e.opts.TraceSink(e.label, trace.Merge(snaps...))
+	}
 	for _, c := range e.clients {
 		c.Stop()
 	}

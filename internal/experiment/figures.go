@@ -366,9 +366,9 @@ func runFig7Point(o Options, style replication.Style, replicas, clients int) (Fi
 		if r.EndVT.After(maxEnd) {
 			maxEnd = r.EndVT
 		}
-		for _, l := range r.Latency.Samples() {
-			all.Record(l)
-		}
+		// Merge folds exact aggregates + histograms; re-recording Samples()
+		// would lose precision once monitors exceed their reservoir cap.
+		all.Merge(&r.Latency)
 	}
 	stats := all.Stats()
 	bytes := e.net.Stats().BytesSent

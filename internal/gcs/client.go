@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"versadep/internal/trace/span"
 	"versadep/internal/transport"
 	"versadep/internal/vtime"
 )
@@ -53,6 +54,14 @@ type ClientConfig struct {
 	ResendInterval time.Duration
 	// Model is the virtual-time cost model.
 	Model vtime.CostModel
+	// Spans, when set together with SpanKey, attaches causal spans to
+	// submissions and direct deliveries.
+	Spans *span.Recorder
+	// SpanKey extracts a trace key from an application payload (e.g. the
+	// VIOP request id riding a replication envelope); payloads it maps to
+	// "" are not spanned. Injected by the composing layer so gcs stays
+	// ignorant of upper-layer encodings.
+	SpanKey func(payload []byte) string
 }
 
 // DefaultClientConfig returns client timing aligned with DefaultConfig.
@@ -140,6 +149,9 @@ func (c *GroupClient) Submit(payload []byte, sentAt vtime.Time, led vtime.Ledger
 	return c.do(func() {
 		vt := c.proc.Execute(sentAt, c.cfg.Model.GCSend)
 		led.Charge(vtime.ComponentGC, c.cfg.Model.GCSend)
+		if key := c.spanKey(payload); key != "" {
+			c.cfg.Spans.Add(key, "gc_submit", span.CompGC, vt.Add(-c.cfg.Model.GCSend), vt)
+		}
 		c.oseq++
 		f := &frame{
 			Kind:   kData,
@@ -224,15 +236,19 @@ func (c *GroupClient) handleDirect(msg transport.Message, f *frame) {
 	}
 	led := f.Ledger
 	arrive := msg.ArriveAt
+	var wire vtime.Duration
 	if msg.SentAt == f.SentVT && msg.ArriveAt >= msg.SentAt {
-		led.Charge(vtime.ComponentGC, msg.ArriveAt.Sub(msg.SentAt))
+		wire = msg.ArriveAt.Sub(msg.SentAt)
 	} else {
-		w := c.cfg.Model.Transmit(len(f.Payload) + 64)
-		arrive = f.SentVT.Add(w)
-		led.Charge(vtime.ComponentGC, w)
+		wire = c.cfg.Model.Transmit(len(f.Payload) + 64)
+		arrive = f.SentVT.Add(wire)
 	}
+	led.Charge(vtime.ComponentGC, wire)
 	vt := c.proc.Execute(arrive, c.cfg.Model.GCSend)
 	led.Charge(vtime.ComponentGC, c.cfg.Model.GCSend)
+	if key := c.spanKey(f.Payload); key != "" {
+		c.cfg.Spans.Add(key, "gc_recv_direct", span.CompGC, vt.Add(-(wire + c.cfg.Model.GCSend)), vt)
+	}
 	c.emit(Event{
 		Kind:    EventDirect,
 		Sender:  f.Origin,
@@ -241,6 +257,15 @@ func (c *GroupClient) handleDirect(msg transport.Message, f *frame) {
 		SentVT:  f.SentVT,
 		Ledger:  led,
 	})
+}
+
+// spanKey maps a payload to its trace key, "" when span recording is off
+// or the payload carries no request identity.
+func (c *GroupClient) spanKey(payload []byte) string {
+	if !c.cfg.Spans.On() || c.cfg.SpanKey == nil {
+		return ""
+	}
+	return c.cfg.SpanKey(payload)
 }
 
 func (c *GroupClient) directDup(peer string, oseq uint64) bool {

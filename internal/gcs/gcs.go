@@ -184,6 +184,12 @@ type Config struct {
 	// events (view changes, heartbeat misses, retransmit-queue depth,
 	// NACKs). A nil recorder costs nothing on the hot paths.
 	Trace *trace.Recorder
+	// SpanKey extracts a causal-trace key from an application payload
+	// (e.g. the VIOP request id riding a replication envelope); payloads
+	// it maps to "" are not spanned. Injected by the composing layer so
+	// gcs stays ignorant of upper-layer encodings. Only consulted when
+	// Trace is set.
+	SpanKey func(payload []byte) string
 }
 
 // DefaultConfig returns timing suitable for tests and the evaluation

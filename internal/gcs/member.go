@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"versadep/internal/trace"
+	"versadep/internal/trace/span"
 	"versadep/internal/transport"
 	"versadep/internal/vtime"
 )
@@ -36,6 +37,7 @@ type Member struct {
 	cNacks      *trace.Counter
 	cRetxDepth  *trace.Counter // high-water retransmit-queue depth
 	cRetransmit *trace.Counter
+	spans       *span.Recorder
 
 	// out delivers events to the application through an elastic queue so
 	// protocol progress never blocks on a slow consumer.
@@ -186,6 +188,7 @@ func Open(conn, xconn transport.Conn, cfg Config) *Member {
 	m.cNacks = cfg.Trace.Counter(trace.SubGCS, "nacks_sent")
 	m.cRetxDepth = cfg.Trace.Counter(trace.SubGCS, "retransmit_queue_depth")
 	m.cRetransmit = cfg.Trace.Counter(trace.SubGCS, "retransmits")
+	m.spans = cfg.Trace.Spans()
 	if len(cfg.Seeds) == 0 {
 		m.installBootstrapView()
 	} else {

@@ -4,9 +4,41 @@ import (
 	"sort"
 
 	"versadep/internal/trace"
+	"versadep/internal/trace/span"
 	"versadep/internal/transport"
 	"versadep/internal/vtime"
 )
+
+// spanFor maps a payload to its causal-trace key; "" disables spanning
+// for that frame (recording off, no extractor, or no request identity).
+func (m *Member) spanFor(payload []byte) string {
+	if !m.spans.On() || m.cfg.SpanKey == nil {
+		return ""
+	}
+	return m.cfg.SpanKey(payload)
+}
+
+// rxSpanName labels a receive span by frame kind, so a request timeline
+// distinguishes the sequencer receiving a submission (gc_recv_submit)
+// from replicas receiving the ordered broadcast (gc_recv_agreed).
+func rxSpanName(k frameKind) string {
+	switch k {
+	case kData:
+		return "gc_recv_submit"
+	case kSeq:
+		return "gc_recv_agreed"
+	case kFifo:
+		return "gc_recv_fifo"
+	case kCausal:
+		return "gc_recv_causal"
+	case kBE:
+		return "gc_recv_besteffort"
+	case kDirect:
+		return "gc_recv_direct"
+	default:
+		return "gc_recv"
+	}
+}
 
 // ---- submission paths ----
 
@@ -17,6 +49,9 @@ func (m *Member) multicastLocked(payload []byte, lvl ServiceLevel, sentAt vtime.
 	cost := m.cfg.Model.Jitter(m.cfg.Model.GCSend, m.rand.Float64())
 	vt := m.proc.Execute(sentAt, cost)
 	led.Charge(vtime.ComponentGC, cost)
+	if key := m.spanFor(payload); key != "" {
+		m.spans.Add(key, "gc_send", span.CompGC, vt.Add(-cost), vt)
+	}
 
 	switch lvl {
 	case Agreed:
@@ -107,6 +142,9 @@ func (m *Member) sendDirectLocked(to string, payload []byte, sentAt vtime.Time, 
 	cost := m.cfg.Model.Jitter(m.cfg.Model.GCSend, m.rand.Float64())
 	vt := m.proc.Execute(sentAt, cost)
 	led.Charge(vtime.ComponentGC, cost)
+	if key := m.spanFor(payload); key != "" {
+		m.spans.Add(key, "gc_send_direct", span.CompGC, vt.Add(-cost), vt)
+	}
 	m.directOut[to]++
 	f := &frame{
 		Kind:   kDirect,
@@ -188,18 +226,24 @@ func (m *Member) handleFrame(msg transport.Message, f *frame) {
 func (m *Member) rx(msg transport.Message, f *frame, extra vtime.Duration) *rxFrame {
 	led := f.Ledger
 	arrive := msg.ArriveAt
+	var wire vtime.Duration
 	if msg.SentAt == f.SentVT && msg.ArriveAt >= msg.SentAt {
-		led.Charge(vtime.ComponentGC, msg.ArriveAt.Sub(msg.SentAt))
+		wire = msg.ArriveAt.Sub(msg.SentAt)
 	} else {
 		// Retransmission or locally re-injected frame: charge a nominal
 		// wire time from the original virtual send instant.
-		w := m.cfg.Model.Transmit(len(f.Payload) + 64)
-		arrive = f.SentVT.Add(w)
-		led.Charge(vtime.ComponentGC, w)
+		wire = m.cfg.Model.Transmit(len(f.Payload) + 64)
+		arrive = f.SentVT.Add(wire)
 	}
+	led.Charge(vtime.ComponentGC, wire)
 	cost := m.cfg.Model.Jitter(m.cfg.Model.GCSend, m.rand.Float64()) + extra
 	vt := m.proc.Execute(arrive, cost)
 	led.Charge(vtime.ComponentGC, cost)
+	if key := m.spanFor(f.Payload); key != "" {
+		// One receive span per frame covering exactly what this hop
+		// charged: wire transit plus the daemon's receive crossing.
+		m.spans.Add(key, rxSpanName(f.Kind), span.CompGC, vt.Add(-(wire + cost)), vt)
+	}
 	return &rxFrame{f: f, vt: vt, led: led}
 }
 
@@ -309,6 +353,9 @@ func (m *Member) sequenceReady(origin string) {
 		vt := m.proc.Execute(rf.vt, m.cfg.Model.GCOrder)
 		led := rf.led
 		led.Charge(vtime.ComponentGC, m.cfg.Model.GCOrder)
+		if key := m.spanFor(f.Payload); key != "" {
+			m.spans.Add(key, "gc_order", span.CompGC, vt.Add(-m.cfg.Model.GCOrder), vt)
+		}
 		sf := &frame{
 			Kind:    kSeq,
 			ViewID:  m.view.ID,

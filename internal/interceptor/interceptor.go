@@ -28,8 +28,32 @@ import (
 	"versadep/internal/orb"
 	"versadep/internal/replication"
 	"versadep/internal/trace"
+	"versadep/internal/trace/span"
 	"versadep/internal/vtime"
 )
+
+// spanSubmit records the outbound interception crossing of a request
+// (client ORB → replicator shim), keyed by the VIOP identity that already
+// rides the frame.
+func spanSubmit(sp *span.Recorder, reqBytes []byte, start, end vtime.Time) {
+	if !sp.On() {
+		return
+	}
+	if cid, rid, err := orb.PeekRequestID(reqBytes); err == nil {
+		sp.Add(span.RequestTrace(cid, rid), "intercept_submit", span.CompReplicator, start, end)
+	}
+}
+
+// spanDeliver records the inbound interception crossing of a delivered
+// reply.
+func spanDeliver(sp *span.Recorder, replyBytes []byte, start, end vtime.Time) {
+	if !sp.On() {
+		return
+	}
+	if cid, rid, err := orb.PeekReplyID(replyBytes); err == nil {
+		sp.Add(span.RequestTrace(cid, rid), "intercept_deliver", span.CompReplicator, start, end)
+	}
+}
 
 // PassthroughWire wraps an inner wire, charging the interception cost on
 // every crossing without changing the message path.
@@ -41,6 +65,7 @@ type PassthroughWire struct {
 	done  chan struct{}
 
 	cCrossings *trace.Counter
+	spans      *span.Recorder
 }
 
 var _ orb.Wire = (*PassthroughWire)(nil)
@@ -48,10 +73,12 @@ var _ orb.Wire = (*PassthroughWire)(nil)
 // PassthroughOption configures a PassthroughWire.
 type PassthroughOption func(*PassthroughWire)
 
-// WithPassthroughTrace reports interception crossings into r.
+// WithPassthroughTrace reports interception crossings into r and attaches
+// causal spans to each crossing.
 func WithPassthroughTrace(r *trace.Recorder) PassthroughOption {
 	return func(w *PassthroughWire) {
 		w.cCrossings = r.Counter(trace.SubInterceptor, "crossings")
+		w.spans = r.Spans()
 	}
 }
 
@@ -75,6 +102,7 @@ func NewPassthrough(inner orb.Wire, model vtime.CostModel, opts ...PassthroughOp
 func (w *PassthroughWire) Send(reqBytes []byte, sentAt vtime.Time, led vtime.Ledger) error {
 	w.cCrossings.Inc()
 	led.Charge(vtime.ComponentReplicator, w.model.Intercept)
+	spanSubmit(w.spans, reqBytes, sentAt, sentAt.Add(w.model.Intercept))
 	return w.inner.Send(reqBytes, sentAt.Add(w.model.Intercept), led)
 }
 
@@ -104,6 +132,7 @@ func (w *PassthroughWire) pump() {
 			w.cCrossings.Inc()
 			wr.Ledger.Charge(vtime.ComponentReplicator, w.model.Intercept)
 			wr.VTime = wr.VTime.Add(w.model.Intercept)
+			spanDeliver(w.spans, wr.Bytes, wr.VTime.Add(-w.model.Intercept), wr.VTime)
 			select {
 			case w.out <- wr:
 			case <-w.stop:
@@ -163,6 +192,7 @@ type GroupWire struct {
 	cMajority   *trace.Counter
 	cSuppressed *trace.Counter
 	cPruned     *trace.Counter
+	spans       *span.Recorder
 }
 
 type vote struct {
@@ -195,6 +225,7 @@ func WithGroupTrace(r *trace.Recorder) GroupWireOption {
 		w.cMajority = r.Counter(trace.SubInterceptor, "majority_delivered")
 		w.cSuppressed = r.Counter(trace.SubInterceptor, "duplicates_suppressed")
 		w.cPruned = r.Counter(trace.SubInterceptor, "pruned_rids")
+		w.spans = r.Spans()
 	}
 }
 
@@ -234,6 +265,7 @@ func (w *GroupWire) SetExpectedReplies(n int) {
 func (w *GroupWire) Send(reqBytes []byte, sentAt vtime.Time, led vtime.Ledger) error {
 	w.cCrossings.Inc()
 	led.Charge(vtime.ComponentReplicator, w.model.Intercept)
+	spanSubmit(w.spans, reqBytes, sentAt, sentAt.Add(w.model.Intercept))
 	payload := replication.WrapRequest(reqBytes)
 	return w.gc.Submit(payload, sentAt.Add(w.model.Intercept), led)
 }
@@ -269,6 +301,10 @@ func (w *GroupWire) pump() {
 			wr.Ledger.Charge(vtime.ComponentReplicator, w.model.Intercept)
 			wr.VTime = wr.VTime.Add(w.model.Intercept)
 			if out, deliver := w.filterReply(wr); deliver {
+				// Spanned only for the reply actually handed to the client
+				// (the one whose ledger the outcome carries), not for
+				// suppressed duplicates or losing majority votes.
+				spanDeliver(w.spans, out.Bytes, out.VTime.Add(-w.model.Intercept), out.VTime)
 				select {
 				case w.out <- out:
 				case <-w.stop:

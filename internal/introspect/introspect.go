@@ -1,0 +1,70 @@
+// Package introspect serves a node's observability state over HTTP while
+// the process runs: Prometheus-format counters and latency quantiles on
+// /metrics, the full trace snapshot (counters, events, histograms, causal
+// spans) as JSON on /trace, and the standard Go profiling endpoints under
+// /debug/pprof/. It is the live counterpart of the -trace exit dumps — a
+// dashboard or curl can watch a vdnode reconfigure without stopping it.
+//
+// The handlers are pull-based and allocation-free until scraped: each
+// request takes one Snapshot of the recorder, so attaching an introspection
+// server adds no cost to the replication hot paths.
+package introspect
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+
+	"versadep/internal/trace"
+)
+
+// Source yields the snapshot to serve — typically a Recorder's Snapshot
+// method, or a closure merging several recorders for a whole-process view.
+type Source func() trace.Snapshot
+
+// NewMux builds the introspection handler tree around src.
+func NewMux(src Source) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = src().WritePrometheus(w)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(src().JSON())
+	})
+	// net/http/pprof registers on http.DefaultServeMux as an import side
+	// effect; wiring the handlers explicitly keeps this mux self-contained
+	// (and keeps profiling off any other server the process might run).
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running introspection endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Start listens on addr (e.g. "127.0.0.1:6060"; a ":0" port picks a free
+// one, readable back via Addr) and serves the introspection mux in a
+// background goroutine.
+func Start(addr string, src Source) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: NewMux(src)}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and releases the listener.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,138 @@
+package monitor
+
+import (
+	"testing"
+
+	"versadep/internal/vtime"
+)
+
+// TestReservoirCapBoundsMemory is the regression for the unbounded-growth
+// fix: beyond ReservoirCap observations, Samples() stays capped while the
+// aggregates keep covering the full population.
+func TestReservoirCapBoundsMemory(t *testing.T) {
+	var m LatencyMonitor
+	const n = 3 * ReservoirCap
+	for i := 1; i <= n; i++ {
+		m.Record(vtime.Duration(i) * vtime.Microsecond)
+	}
+	if got := len(m.Samples()); got != ReservoirCap {
+		t.Fatalf("reservoir holds %d samples, want cap %d", got, ReservoirCap)
+	}
+	st := m.Stats()
+	if st.Count != n {
+		t.Fatalf("count = %d, want %d (aggregates cover all samples)", st.Count, n)
+	}
+	if st.Min != 1*vtime.Microsecond || st.Max != n*vtime.Microsecond {
+		t.Fatalf("min/max = %v/%v, want 1µs/%dµs", st.Min, st.Max, n)
+	}
+	wantMean := vtime.Duration(float64(n+1) / 2 * float64(vtime.Microsecond))
+	if st.Mean != wantMean {
+		t.Fatalf("mean = %v, want %v", st.Mean, wantMean)
+	}
+	// Above the cap P99 comes from the histogram: bounded relative error,
+	// never above the observed max.
+	exact := float64(n) * 0.99 * float64(vtime.Microsecond)
+	if st.P99 > st.Max {
+		t.Fatalf("P99 %v above max %v", st.P99, st.Max)
+	}
+	if err := (float64(st.P99) - exact) / exact; err < -0.01 || err > 0.125 {
+		t.Fatalf("P99 = %v, exact %v, relative error %.3f outside [-0.01, 0.125]", st.P99, vtime.Duration(exact), err)
+	}
+}
+
+// TestExactPercentileBelowCap pins the pre-existing behavior: while the
+// population fits the reservoir, P99 stays exact.
+func TestExactPercentileBelowCap(t *testing.T) {
+	var m LatencyMonitor
+	for i := 1; i <= 100; i++ {
+		m.Record(vtime.Duration(i) * vtime.Microsecond)
+	}
+	// The repo's percentile definition indexes ceil(q·(n-1)) over the
+	// sorted population: samples[99] = 100µs.
+	if st := m.Stats(); st.P99 != 100*vtime.Microsecond {
+		t.Fatalf("P99 = %v, want exactly 100µs below the cap", st.P99)
+	}
+}
+
+func TestReservoirIsUniformAndDeterministic(t *testing.T) {
+	run := func() []vtime.Duration {
+		var m LatencyMonitor
+		for i := 1; i <= 4*ReservoirCap; i++ {
+			m.Record(vtime.Duration(i))
+		}
+		return m.Samples()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("reservoir sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("reservoir not deterministic at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	// The surviving sample should not be dominated by the first window:
+	// with uniform replacement roughly 3/4 of entries come from later
+	// observations.
+	late := 0
+	for _, d := range a {
+		if d > vtime.Duration(ReservoirCap) {
+			late++
+		}
+	}
+	if late < len(a)/2 {
+		t.Fatalf("only %d/%d reservoir entries postdate the first window; replacement not uniform", late, len(a))
+	}
+}
+
+func TestLatencyMonitorMerge(t *testing.T) {
+	var a, b LatencyMonitor
+	for i := 1; i <= 100; i++ {
+		a.Record(vtime.Duration(i) * vtime.Microsecond)
+	}
+	for i := 101; i <= 200; i++ {
+		b.Record(vtime.Duration(i) * vtime.Microsecond)
+	}
+	a.Merge(&b)
+	st := a.Stats()
+	if st.Count != 200 {
+		t.Fatalf("merged count = %d, want 200", st.Count)
+	}
+	if st.Min != 1*vtime.Microsecond || st.Max != 200*vtime.Microsecond {
+		t.Fatalf("merged min/max = %v/%v", st.Min, st.Max)
+	}
+	if st.Mean != vtime.Duration(100.5*float64(vtime.Microsecond)) {
+		t.Fatalf("merged mean = %v, want 100.5µs", st.Mean)
+	}
+	if got := b.Count(); got != 100 {
+		t.Fatalf("merge mutated other: count = %d", got)
+	}
+	// Merging into the zero value and self-merge no-op.
+	var c LatencyMonitor
+	c.Merge(&a)
+	if c.Count() != 200 {
+		t.Fatalf("zero-value merge count = %d", c.Count())
+	}
+	c.Merge(&c)
+	if c.Count() != 200 {
+		t.Fatalf("self-merge changed count to %d", c.Count())
+	}
+	c.Merge(nil)
+	if c.Count() != 200 {
+		t.Fatalf("nil merge changed count to %d", c.Count())
+	}
+}
+
+func TestLatencyMonitorHistogramSnapshot(t *testing.T) {
+	var m LatencyMonitor
+	for i := 0; i < 10; i++ {
+		m.Record(500 * vtime.Microsecond)
+	}
+	h := m.Histogram()
+	if h.Count != 10 {
+		t.Fatalf("histogram count = %d, want 10", h.Count)
+	}
+	if h.Min != int64(500*vtime.Microsecond) || h.Max != h.Min {
+		t.Fatalf("histogram min/max = %d/%d", h.Min, h.Max)
+	}
+}

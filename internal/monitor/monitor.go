@@ -15,6 +15,7 @@ import (
 	"slices"
 	"sync"
 
+	"versadep/internal/trace/hist"
 	"versadep/internal/vtime"
 )
 
@@ -28,62 +29,162 @@ type LatencyStats struct {
 	P99    vtime.Duration
 }
 
-// LatencyMonitor aggregates round-trip latencies. It is safe for
-// concurrent use (clients record from their own goroutines).
+// ReservoirCap bounds the raw samples a LatencyMonitor retains. Up to the
+// cap the reservoir holds every observation (so small-run percentiles stay
+// exact); beyond it, a deterministic Algorithm-R reservoir keeps a uniform
+// subset for figure rendering while Stats switches to the log-bucketed
+// histogram for P99. This is the documented memory bound: a LatencyMonitor
+// never grows past ReservoirCap samples plus one fixed-size histogram, no
+// matter how long the run.
+const ReservoirCap = 2048
+
+// LatencyMonitor aggregates round-trip latencies under bounded memory:
+// exact running aggregates (count/sum/min/max/variance), a log-bucketed
+// histogram, and a capped uniform reservoir of raw samples. It is safe for
+// concurrent use (clients record from their own goroutines); the zero
+// value is ready to use.
 type LatencyMonitor struct {
-	mu      sync.Mutex
-	samples []vtime.Duration
+	mu    sync.Mutex
+	count int64
+	sum   float64
+	sumsq float64
+	min   vtime.Duration
+	max   vtime.Duration
+	// reservoir is a uniform sample of all observations. Replacement uses
+	// a seeded LCG rather than math/rand so runs stay deterministic.
+	reservoir []vtime.Duration
+	rng       uint64
+	hist      hist.Histogram
 }
 
 // Record adds one round-trip observation.
 func (m *LatencyMonitor) Record(d vtime.Duration) {
+	m.hist.Observe(int64(d))
 	m.mu.Lock()
-	m.samples = append(m.samples, d)
+	m.count++
+	m.sum += float64(d)
+	m.sumsq += float64(d) * float64(d)
+	if m.count == 1 || d < m.min {
+		m.min = d
+	}
+	if m.count == 1 || d > m.max {
+		m.max = d
+	}
+	if len(m.reservoir) < ReservoirCap {
+		m.reservoir = append(m.reservoir, d)
+	} else {
+		// Algorithm R: keep each observation with probability cap/count.
+		m.rng = m.rng*6364136223846793005 + 1442695040888963407
+		if j := m.rng % uint64(m.count); j < ReservoirCap {
+			m.reservoir[j] = d
+		}
+	}
 	m.mu.Unlock()
 }
 
-// Samples returns a copy of the raw observations.
+// Samples returns a copy of the retained reservoir — every observation
+// while Count() <= ReservoirCap, a uniform subset afterwards. Callers that
+// need cross-monitor aggregates should use Merge rather than re-recording
+// another monitor's Samples.
 func (m *LatencyMonitor) Samples() []vtime.Duration {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return append([]vtime.Duration(nil), m.samples...)
+	return append([]vtime.Duration(nil), m.reservoir...)
 }
 
 // Count returns the number of observations.
 func (m *LatencyMonitor) Count() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return len(m.samples)
+	return int(m.count)
 }
 
-// Stats computes the summary. An empty monitor returns zeros.
+// Histogram returns the bucketed distribution of all observations (not
+// just the reservoir).
+func (m *LatencyMonitor) Histogram() hist.Snapshot {
+	return m.hist.Snapshot()
+}
+
+// Merge folds every observation of other into m: aggregates and histogram
+// merge exactly; the reservoirs concatenate up to the cap. Other is left
+// unchanged.
+func (m *LatencyMonitor) Merge(other *LatencyMonitor) {
+	if other == nil || m == other {
+		return
+	}
+	other.mu.Lock()
+	count, sum, sumsq := other.count, other.sum, other.sumsq
+	omin, omax := other.min, other.max
+	res := append([]vtime.Duration(nil), other.reservoir...)
+	hs := other.hist.Snapshot()
+	other.mu.Unlock()
+	if count == 0 {
+		return
+	}
+	m.mu.Lock()
+	if m.count == 0 {
+		m.min, m.max = omin, omax
+	} else {
+		if omin < m.min {
+			m.min = omin
+		}
+		if omax > m.max {
+			m.max = omax
+		}
+	}
+	m.count += count
+	m.sum += sum
+	m.sumsq += sumsq
+	for _, d := range res {
+		if len(m.reservoir) >= ReservoirCap {
+			break
+		}
+		m.reservoir = append(m.reservoir, d)
+	}
+	m.mu.Unlock()
+	m.hist.AddSnapshot(hs)
+}
+
+// Stats computes the summary. An empty monitor returns zeros. P99 is
+// exact while the reservoir still holds every sample (Count <=
+// ReservoirCap) and histogram-estimated afterwards (≤12.5% relative
+// error, clamped to the observed max).
 func (m *LatencyMonitor) Stats() LatencyStats {
 	m.mu.Lock()
-	samples := append([]vtime.Duration(nil), m.samples...)
+	count, sum, sumsq := m.count, m.sum, m.sumsq
+	min, max := m.min, m.max
+	var res []vtime.Duration
+	if count <= ReservoirCap {
+		res = append([]vtime.Duration(nil), m.reservoir...)
+	}
 	m.mu.Unlock()
-	if len(samples) == 0 {
+	if count == 0 {
 		return LatencyStats{}
 	}
-	var sum float64
-	st := LatencyStats{Count: len(samples), Min: samples[0], Max: samples[0]}
-	for _, d := range samples {
-		sum += float64(d)
-		if d < st.Min {
-			st.Min = d
-		}
-		if d > st.Max {
-			st.Max = d
-		}
+	mean := sum / float64(count)
+	variance := sumsq/float64(count) - mean*mean
+	if variance < 0 { // float rounding
+		variance = 0
 	}
-	mean := sum / float64(len(samples))
-	st.Mean = vtime.Duration(mean)
-	var varsum float64
-	for _, d := range samples {
-		diff := float64(d) - mean
-		varsum += diff * diff
+	st := LatencyStats{
+		Count:  int(count),
+		Mean:   vtime.Duration(mean),
+		Min:    min,
+		Max:    max,
+		Jitter: vtime.Duration(math.Sqrt(variance)),
 	}
-	st.Jitter = vtime.Duration(math.Sqrt(varsum / float64(len(samples))))
-	st.P99 = percentile(samples, 0.99)
+	if len(res) > 0 {
+		st.P99 = percentile(res, 0.99)
+	} else {
+		p := vtime.Duration(m.hist.Quantile(0.99))
+		if p > max {
+			p = max
+		}
+		if p < min {
+			p = min
+		}
+		st.P99 = p
+	}
 	return st
 }
 

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"versadep/internal/codec"
+	"versadep/internal/trace/span"
 	"versadep/internal/vtime"
 )
 
@@ -22,6 +23,16 @@ type Adapter struct {
 
 	mu       sync.Mutex
 	servants map[string]Servant
+	spans    *span.Recorder
+}
+
+// SetSpans attaches a causal span recorder: every handled request then
+// contributes orb_unmarshal / app_execute / orb_marshal spans to its
+// request trace. Safe to leave unset (spans cost nothing when off).
+func (a *Adapter) SetSpans(sp *span.Recorder) {
+	a.mu.Lock()
+	a.spans = sp
+	a.mu.Unlock()
 }
 
 // NewAdapter creates an adapter charging costs from model.
@@ -68,15 +79,35 @@ func (a *Adapter) HandleRequest(cpu *vtime.Server, reqBytes []byte, arriveVT vti
 	if err != nil {
 		return nil, fmt.Errorf("orb: adapter decode: %w", err)
 	}
+	a.mu.Lock()
+	sp := a.spans
+	a.mu.Unlock()
+	var tkey string
+	if sp.On() {
+		tkey = span.RequestTrace(req.ClientID, req.ReqID)
+	}
+
 	vt := cpu.Execute(arriveVT, a.model.ORBMarshal)
 	led.Charge(vtime.ComponentORB, a.model.ORBMarshal)
+	if sp.On() {
+		// Span durations equal the charged cost (end = completion on the
+		// possibly-queued CPU, start = end - cost), so per-component span
+		// sums reproduce the ledger's Figure 3 attribution exactly.
+		sp.Add(tkey, "orb_unmarshal", span.CompORB, vt.Add(-a.model.ORBMarshal), vt)
+	}
 
 	reply, execCost := a.execute(req)
 	vt = cpu.Execute(vt, execCost)
 	led.Charge(vtime.ComponentApp, execCost)
+	if sp.On() {
+		sp.Add(tkey, "app_execute", span.CompApp, vt.Add(-execCost), vt)
+	}
 
 	vt = cpu.Execute(vt, a.model.ORBMarshal)
 	led.Charge(vtime.ComponentORB, a.model.ORBMarshal)
+	if sp.On() {
+		sp.Add(tkey, "orb_marshal", span.CompORB, vt.Add(-a.model.ORBMarshal), vt)
+	}
 
 	return &InvocationResult{
 		ReplyBytes: EncodeReply(reply),

@@ -6,6 +6,7 @@ import (
 
 	"versadep/internal/codec"
 	"versadep/internal/trace"
+	"versadep/internal/trace/span"
 	"versadep/internal/vtime"
 )
 
@@ -25,6 +26,8 @@ type Client struct {
 	cRetransmits *trace.Counter
 	cTimeouts    *trace.Counter
 	cDupReplies  *trace.Counter
+	hRTT         *trace.Histogram
+	spans        *span.Recorder
 
 	mu      sync.Mutex
 	nextReq uint64
@@ -51,13 +54,16 @@ func WithRetries(n int) ClientOption {
 }
 
 // WithClientTrace reports the client ORB's retransmits, timeouts and
-// duplicate-reply suppressions into r.
+// duplicate-reply suppressions into r, records round-trip latencies into
+// the "orb.rtt_us" histogram, and opens a causal root span per invocation.
 func WithClientTrace(r *trace.Recorder) ClientOption {
 	return func(c *Client) {
 		c.cInvocations = r.Counter(trace.SubORB, "invocations")
 		c.cRetransmits = r.Counter(trace.SubORB, "retransmits")
 		c.cTimeouts = r.Counter(trace.SubORB, "timeouts")
 		c.cDupReplies = r.Counter(trace.SubORB, "duplicate_replies")
+		c.hRTT = r.Histogram(trace.SubORB, "rtt_us")
+		c.spans = r.Spans()
 	}
 }
 
@@ -153,6 +159,14 @@ func (c *Client) Invoke(object, op string, args []codec.Value, now vtime.Time) (
 	led.Charge(vtime.ComponentORB, c.model.ORBMarshal)
 	sentVT := now.Add(c.model.ORBMarshal)
 
+	// tkey is only built when span recording is on — a nil recorder must
+	// add zero allocations to this path.
+	var tkey string
+	if c.spans.On() {
+		tkey = span.RequestTrace(c.id, reqID)
+		c.spans.Add(tkey, "client_marshal", span.CompORB, now, sentVT)
+	}
+
 	c.cInvocations.Inc()
 	for attempt := 0; attempt <= c.retries; attempt++ {
 		if attempt > 0 {
@@ -172,6 +186,13 @@ func (c *Client) Invoke(object, op string, args []codec.Value, now vtime.Time) (
 			outLed := wr.Ledger
 			outLed.Charge(vtime.ComponentORB, c.model.ORBMarshal)
 			doneVT := wr.VTime.Add(c.model.ORBMarshal)
+			if c.spans.On() {
+				c.spans.Add(tkey, "client_unmarshal", span.CompORB, wr.VTime, doneVT)
+				// Root span: the whole invocation, component-less so the
+				// per-component breakdown never double-counts it.
+				c.spans.Add(tkey, "invoke", "", now, doneVT)
+			}
+			c.hRTT.Observe(int64(doneVT.Sub(now)) / int64(vtime.Microsecond))
 			out := &Outcome{
 				Reply:  reply,
 				SentVT: now,

@@ -6,6 +6,7 @@ import (
 	"versadep/internal/gcs"
 	"versadep/internal/orb"
 	"versadep/internal/trace"
+	"versadep/internal/trace/span"
 	"versadep/internal/vtime"
 )
 
@@ -177,6 +178,8 @@ type Engine struct {
 	cCacheEvicts    *trace.Counter
 	cOrphansPruned  *trace.Counter
 	cPendingCkpts   *trace.Counter // high-water in-flight checkpoint halves
+	spans           *span.Recorder
+	hExec           *trace.Histogram // per-request replica turnaround, µs
 
 	// owned by the run goroutine:
 	style     Style
@@ -247,6 +250,8 @@ func (e *Engine) initTrace(r *trace.Recorder) {
 	e.cCacheEvicts = r.Counter(trace.SubReplication, "reply_cache_evictions")
 	e.cOrphansPruned = r.Counter(trace.SubReplication, "ckpt_orphans_pruned")
 	e.cPendingCkpts = r.Counter(trace.SubReplication, "pending_checkpoints")
+	e.spans = r.Spans()
+	e.hExec = r.Histogram(trace.SubReplication, "exec_us")
 }
 
 // finalState is the terminal getter snapshot (see Engine.final).
@@ -563,6 +568,9 @@ func (e *Engine) handleView(ev gcs.Event) {
 		e.switching.oldPrimary != "" && !e.view.Contains(e.switching.oldPrimary) {
 		sw := e.switching
 		e.switching = nil
+		// Close the switch span here with the reason annotated; the normal
+		// close in notify finds nothing open and records no duplicate.
+		e.spans.End("switch", ev.VTime, "failover")
 		if e.synced {
 			e.replayLog(ev.VTime)
 		}
@@ -588,6 +596,11 @@ func (e *Engine) handleView(ev gcs.Event) {
 // last checkpoint are replayed (Figure 5's rollback).
 func (e *Engine) failover(vt vtime.Time) {
 	start := vt
+	var fkey string
+	if e.spans.On() {
+		fkey = span.FailoverTrace(e.Addr(), uint64(e.stats.Failovers)+1)
+		e.spans.Add(fkey, "crash_detect", "", start, start)
+	}
 	if e.style == ColdPassive {
 		vt = e.cpu.Execute(vt, e.cfg.Model.ColdStart)
 		if e.lastCkpt != nil {
@@ -595,9 +608,17 @@ func (e *Engine) failover(vt vtime.Time) {
 			_ = e.cfg.State.Restore(e.lastCkpt.State)
 			e.setCache(e.lastCkpt.Cache)
 		}
+		if fkey != "" {
+			e.spans.Add(fkey, "cold_restart", span.CompReplicator, start, vt)
+		}
 	}
 	replayed := int64(len(e.log))
+	replayStart := vt
 	vt = e.replayLog(vt)
+	if fkey != "" {
+		e.spans.Annotate(fkey, "replay", span.CompReplicator, replayStart, vt, replayed, "")
+		e.spans.Add(fkey, "failover", "", start, vt)
+	}
 	e.stats.Failovers++
 	e.cFailovers.Inc()
 	e.cFailoverReplay.Add(replayed)
@@ -648,6 +669,11 @@ func (e *Engine) handleRequest(ev gcs.Event, msg *Msg) {
 		if executor && e.repliesToClients() {
 			if cached, ok := e.replyCache[cid][rid]; ok {
 				vt := e.cpu.Execute(ev.VTime, e.cfg.Model.Intercept)
+				if e.spans.On() {
+					// Component-less: a resend carries no ledger charge, so
+					// it must not count into the request's breakdown.
+					e.spans.Annotate(span.RequestTrace(cid, rid), "reply_resend", "", ev.VTime, vt, 0, "dedup")
+				}
 				_ = e.member.SendDirect(cid, cached, vt, ev.Ledger)
 				e.stats.RepliesResent++
 				e.cCacheHits.Inc()
@@ -660,6 +686,9 @@ func (e *Engine) handleRequest(ev gcs.Event, msg *Msg) {
 		led := ev.Ledger
 		led.Charge(vtime.ComponentReplicator, e.cfg.Model.Intercept)
 		vt := e.cpu.Execute(ev.VTime, e.cfg.Model.Intercept)
+		if e.spans.On() {
+			e.spans.Add(span.RequestTrace(cid, rid), "replicator_deliver", span.CompReplicator, vt.Add(-e.cfg.Model.Intercept), vt)
+		}
 		vt = e.executeWithLedger(msg.Viop, cid, rid, vt, led)
 		e.lastExecSeq = ev.Seq
 		e.notify(Notice{Kind: NoticeRequest, VT: vt, Style: e.style, Executed: true})
@@ -674,6 +703,12 @@ func (e *Engine) handleRequest(ev gcs.Event, msg *Msg) {
 	} else {
 		// Backups and unsynced joiners log; a joiner's log is replayed
 		// against the checkpoint it is waiting for.
+		if e.spans.On() {
+			// Marker (zero duration, no component): shows up in the request
+			// timeline as the backup's logging point without affecting the
+			// breakdown.
+			e.spans.Add(span.RequestTrace(cid, rid), "request_logged", "", ev.VTime, ev.VTime)
+		}
 		e.log = append(e.log, logEntry{viop: msg.Viop, seq: ev.Seq, sentVT: ev.SentVT})
 		e.stats.RequestsLogged++
 		e.notify(Notice{Kind: NoticeRequest, VT: ev.VTime, Style: e.style, Executed: false})
@@ -685,6 +720,7 @@ func (e *Engine) handleRequest(ev gcs.Event, msg *Msg) {
 // executeWithLedger runs one request through the adapter, caches the
 // reply, and transmits it if this replica is the replying one.
 func (e *Engine) executeWithLedger(viop []byte, cid string, rid uint64, vt vtime.Time, led vtime.Ledger) vtime.Time {
+	in := vt
 	res, err := e.adapter.HandleRequest(&e.cpu, viop, vt, led)
 	if err != nil {
 		return vt
@@ -692,6 +728,10 @@ func (e *Engine) executeWithLedger(viop []byte, cid string, rid uint64, vt vtime
 	vt = e.cpu.Execute(res.DoneVT, e.cfg.Model.Intercept)
 	outLed := res.Ledger
 	outLed.Charge(vtime.ComponentReplicator, e.cfg.Model.Intercept)
+	if e.spans.On() {
+		e.spans.Add(span.RequestTrace(cid, rid), "replicator_reply", span.CompReplicator, vt.Add(-e.cfg.Model.Intercept), vt)
+	}
+	e.hExec.Observe(int64(vt.Sub(in)) / int64(vtime.Microsecond))
 	e.cacheReply(cid, rid, res.ReplyBytes)
 	e.stats.RequestsExecuted++
 	if e.repliesToClients() {
@@ -704,6 +744,9 @@ func (e *Engine) executeWithLedger(viop []byte, cid string, rid uint64, vt vtime
 func (e *Engine) execute(viop []byte, cid string, rid uint64, vt vtime.Time, led vtime.Ledger) vtime.Time {
 	led.Charge(vtime.ComponentReplicator, e.cfg.Model.Intercept)
 	vt = e.cpu.Execute(vt, e.cfg.Model.Intercept)
+	if e.spans.On() {
+		e.spans.Add(span.RequestTrace(cid, rid), "replicator_deliver", span.CompReplicator, vt.Add(-e.cfg.Model.Intercept), vt)
+	}
 	return e.executeWithLedger(viop, cid, rid, vt, led)
 }
 
@@ -735,6 +778,7 @@ func (e *Engine) cacheReply(cid string, rid uint64, reply []byte) {
 // per-backup transfers are what make passive bandwidth grow with the
 // redundancy level.
 func (e *Engine) takeCheckpoint(vt vtime.Time, final bool, switchID uint64) {
+	vt0 := vt
 	state := e.cfg.State.State()
 	backups := len(e.view.Members) - 1
 	cost := e.cfg.Model.CheckpointCost(len(state))
@@ -767,6 +811,15 @@ func (e *Engine) takeCheckpoint(vt vtime.Time, final bool, switchID uint64) {
 	for _, m := range e.view.Members {
 		if m != e.Addr() {
 			_ = e.member.SendDirect(m, stateMsg, vt, vtime.Ledger{})
+		}
+	}
+	if e.spans.On() {
+		e.spans.Annotate(span.CheckpointTrace(e.Addr(), e.ckptSerial), "checkpoint_capture",
+			span.CompReplicator, vt.Add(-cost), vt, int64(len(state)), "")
+		if final {
+			// The closing checkpoint of a passive→active switch is part of
+			// the switch timeline (Figure 5, step II case 1).
+			e.spans.Annotate(span.SwitchTrace(switchID), "state_transfer", "", vt0, vt, int64(len(state)), "")
 		}
 	}
 	e.ckptCounter = 0
@@ -842,6 +895,10 @@ func (e *Engine) tryApplyCheckpoint(sender string, serial uint64) {
 		// pipeline when the state was captured).
 		vt := e.cpu.Execute(pm.vt, vtime.Duration(len(st.State))*e.cfg.Model.CheckpointPerByte)
 		_ = e.cfg.State.Restore(st.State)
+		if e.spans.On() {
+			e.spans.Annotate(span.CheckpointTrace(sender, serial), "checkpoint_apply",
+				span.CompReplicator, pm.vt, vt, int64(len(st.State)), "")
+		}
 		e.setCache(marker.Cache)
 		e.lastExecSeq = marker.CoveredSeq
 		e.trimLog(marker.CoveredSeq)
@@ -902,6 +959,13 @@ func (e *Engine) handleSwitch(ev gcs.Event, msg *Msg) {
 	}
 	e.stats.Switches++
 	e.notify(Notice{Kind: NoticeSwitchStart, VT: ev.VTime, Style: target})
+	if e.spans.On() {
+		skey := span.SwitchTrace(ev.Seq)
+		e.spans.Add(skey, "switch_start", "", ev.VTime, ev.VTime)
+		// At most one switch is in flight (e.switching guards re-entry), so
+		// a fixed open key is safe.
+		e.spans.Begin("switch", skey, "switch", "", ev.VTime)
+	}
 
 	switch {
 	case e.style.IsPassive() && target.AllExecute():
@@ -1000,6 +1064,9 @@ func (e *Engine) notify(n Notice) {
 	case NoticeSwitchStart:
 		e.cSwitchStarts.Inc()
 	case NoticeSwitchDone:
+		if s, ok := e.spans.End("switch", n.VT, ""); ok {
+			e.spans.Add(s.Trace, "switch_done", "", n.VT, n.VT)
+		}
 		e.cSwitchDones.Inc()
 		e.cSwitchDelay.Store(n.Delay.Microseconds())
 		e.tr.Event(trace.SubReplication, "switch_done", n.VT, n.Delay.Microseconds())

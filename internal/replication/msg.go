@@ -197,3 +197,20 @@ func Decode(b []byte) (*Msg, error) {
 func WrapRequest(viop []byte) []byte {
 	return Encode(&Msg{Kind: KindRequest, Viop: viop})
 }
+
+// PeekRequestViop extracts the wrapped VIOP bytes from an encoded request
+// envelope without a full decode, returning ok=false for other envelope
+// kinds or malformed bytes. The composing layer uses it to derive causal
+// trace keys from the VIOP identity riding every KindRequest frame.
+func PeekRequestViop(b []byte) ([]byte, bool) {
+	d := codec.NewDecoder(b)
+	kind, err := d.Uint8()
+	if err != nil || MsgKind(kind) != KindRequest {
+		return nil, false
+	}
+	viop, err := d.BytesCopy()
+	if err != nil || len(viop) == 0 {
+		return nil, false
+	}
+	return viop, true
+}

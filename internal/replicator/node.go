@@ -26,9 +26,30 @@ import (
 	"versadep/internal/orb"
 	"versadep/internal/replication"
 	"versadep/internal/trace"
+	"versadep/internal/trace/span"
 	"versadep/internal/transport"
 	"versadep/internal/vtime"
 )
+
+// requestSpanKey maps a GCS payload to its causal trace key: the VIOP
+// (client, request) identity unwrapped from a replication request envelope
+// on the way in, or peeked from raw VIOP reply bytes on the way back
+// (direct deliveries to clients). Payloads without a request identity —
+// checkpoints, state transfers, switch and metrics traffic — map to "".
+// This is injected into the gcs layer so it can attach spans without
+// knowing the upper layers' encodings.
+func requestSpanKey(payload []byte) string {
+	if viop, ok := replication.PeekRequestViop(payload); ok {
+		if cid, rid, err := orb.PeekRequestID(viop); err == nil {
+			return span.RequestTrace(cid, rid)
+		}
+		return ""
+	}
+	if cid, rid, err := orb.PeekReplyID(payload); err == nil {
+		return span.RequestTrace(cid, rid)
+	}
+	return ""
+}
 
 // ReplicaNode is a replicated server process.
 type ReplicaNode struct {
@@ -73,7 +94,9 @@ func StartReplica(ep transport.MultiEndpoint, cfg ReplicaConfig) *ReplicaNode {
 	if rec == nil {
 		rec = trace.New()
 	}
+	rec.Spans().SetNode(ep.Addr())
 	gcfg.Trace = rec
+	gcfg.SpanKey = requestSpanKey
 	cfg.Replication.Trace = rec
 
 	member := gcs.Open(d.Conn(transport.ProtoGCS), d.Conn(transport.ProtoGroupClient), gcfg)
@@ -83,6 +106,7 @@ func StartReplica(ep transport.MultiEndpoint, cfg ReplicaConfig) *ReplicaNode {
 	d.Handle(transport.ProtoGroupClient, member.HandleTransport)
 
 	adapter := orb.NewAdapter(cfg.Replication.Model)
+	adapter.SetSpans(rec.Spans())
 	engine := replication.NewEngine(member, adapter, cfg.Replication)
 
 	d.Start()
@@ -159,15 +183,18 @@ type ClientConfig struct {
 func StartClient(ep transport.MultiEndpoint, cfg ClientConfig) *ClientNode {
 	d := transport.NewDemux(ep)
 
-	gcc := gcs.DefaultClientConfig(cfg.Members)
-	gcc.Model = cfg.Model
-	gc := gcs.NewClient(d.Conn(transport.ProtoGCS), gcc)
-	d.Handle(transport.ProtoGroupClient, gc.HandleTransport)
-
 	rec := cfg.Trace
 	if rec == nil {
 		rec = trace.New()
 	}
+	rec.Spans().SetNode(ep.Addr())
+
+	gcc := gcs.DefaultClientConfig(cfg.Members)
+	gcc.Model = cfg.Model
+	gcc.Spans = rec.Spans()
+	gcc.SpanKey = requestSpanKey
+	gc := gcs.NewClient(d.Conn(transport.ProtoGCS), gcc)
+	d.Handle(transport.ProtoGroupClient, gc.HandleTransport)
 
 	opts := []interceptor.GroupWireOption{interceptor.WithGroupTrace(rec)}
 	if cfg.Filter != 0 {

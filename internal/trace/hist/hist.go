@@ -1,0 +1,281 @@
+// Package hist provides a fixed-size, log-bucketed latency histogram.
+//
+// It is the bounded-memory backbone of the observability layer: the
+// monitor package records round trips into it instead of retaining every
+// raw sample, and the trace package registers named histograms next to its
+// counters so /metrics can expose quantile summaries. The package sits
+// below both (it imports nothing from versadep), which is what lets the
+// two share one implementation without an import cycle.
+//
+// The bucket layout is log-linear: values below 2^subBits land in exact
+// unit buckets; above that, each power-of-two octave is split into
+// 2^subBits equal sub-buckets, bounding the relative quantile error at
+// 1/2^subBits (12.5%) while keeping the whole histogram at a few KB of
+// atomic counters. Recording is lock-free (one atomic add plus min/max
+// CAS), so it is safe on the invoke hot path.
+package hist
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// subBits is the number of linear sub-divisions per octave, as a power of
+// two. 3 bits = 8 sub-buckets = at most 12.5% relative quantile error.
+const subBits = 3
+
+// nBuckets covers the full non-negative int64 range: 2^subBits exact unit
+// buckets plus 2^subBits sub-buckets for each octave from subBits through
+// 62 (the top octave of a non-negative int64).
+const nBuckets = (63-subBits)*(1<<subBits) + (1 << subBits)
+
+// Histogram is a concurrent log-bucketed histogram of non-negative int64
+// observations (negative values are clamped to zero). The zero value is
+// ready to use; a nil *Histogram is a no-op, mirroring trace.Counter's
+// nil-safety so call sites need no "is tracing on" gate.
+type Histogram struct {
+	count atomic.Int64
+	sum   atomic.Int64
+	// min and max store observation+1 so that zero means "unset" while a
+	// genuine 0 observation remains representable.
+	minP1   atomic.Int64
+	maxP1   atomic.Int64
+	buckets [nBuckets]atomic.Int64
+}
+
+// bucketIndex maps a non-negative value to its bucket.
+func bucketIndex(v int64) int {
+	if v < 1<<subBits {
+		return int(v)
+	}
+	octave := bits.Len64(uint64(v)) - 1
+	sub := int((v >> uint(octave-subBits)) & (1<<subBits - 1))
+	return (octave-subBits+1)<<subBits + sub
+}
+
+// bucketLow returns the smallest value mapping to bucket i.
+func bucketLow(i int) int64 {
+	if i < 1<<subBits {
+		return int64(i)
+	}
+	g := i >> subBits // octave group, 1-based above the linear range
+	sub := int64(i & (1<<subBits - 1))
+	return (1<<subBits + sub) << uint(g-1)
+}
+
+// bucketHigh returns the largest value mapping to bucket i.
+func bucketHigh(i int) int64 {
+	if i >= nBuckets-1 {
+		return 1<<63 - 1
+	}
+	return bucketLow(i+1) - 1
+}
+
+// Observe records one value. Negative values count as zero.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bucketIndex(v)].Add(1)
+	for {
+		cur := h.minP1.Load()
+		if cur != 0 && cur <= v+1 || h.minP1.CompareAndSwap(cur, v+1) {
+			break
+		}
+	}
+	for {
+		cur := h.maxP1.Load()
+		if cur >= v+1 || h.maxP1.CompareAndSwap(cur, v+1) {
+			break
+		}
+	}
+}
+
+// AddSnapshot folds a previously captured snapshot (typically from
+// another process or monitor) into the live histogram.
+func (h *Histogram) AddSnapshot(s Snapshot) {
+	if h == nil || s.Count == 0 {
+		return
+	}
+	h.count.Add(s.Count)
+	h.sum.Add(s.Sum)
+	for _, b := range s.Buckets {
+		if b.Index >= 0 && b.Index < nBuckets {
+			h.buckets[b.Index].Add(b.Count)
+		}
+	}
+	for {
+		cur := h.minP1.Load()
+		if cur != 0 && cur <= s.Min+1 || h.minP1.CompareAndSwap(cur, s.Min+1) {
+			break
+		}
+	}
+	for {
+		cur := h.maxP1.Load()
+		if cur >= s.Max+1 || h.maxP1.CompareAndSwap(cur, s.Max+1) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations (zero on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observations (zero on nil).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Min returns the smallest observation, or zero when empty.
+func (h *Histogram) Min() int64 {
+	if h == nil {
+		return 0
+	}
+	if v := h.minP1.Load(); v > 0 {
+		return v - 1
+	}
+	return 0
+}
+
+// Max returns the largest observation, or zero when empty.
+func (h *Histogram) Max() int64 {
+	if h == nil {
+		return 0
+	}
+	if v := h.maxP1.Load(); v > 0 {
+		return v - 1
+	}
+	return 0
+}
+
+// Quantile estimates the q-quantile (0..1) of the recorded population,
+// accurate to the bucket resolution. Zero on an empty or nil histogram.
+func (h *Histogram) Quantile(q float64) int64 {
+	return h.Snapshot().Quantile(q)
+}
+
+// Bucket is one non-empty bucket in a Snapshot.
+type Bucket struct {
+	// Index is the bucket's position in the log-linear layout.
+	Index int `json:"i"`
+	// Count is the number of observations in the bucket.
+	Count int64 `json:"n"`
+}
+
+// Snapshot is a point-in-time copy of a histogram, sparse and mergeable
+// across processes.
+type Snapshot struct {
+	Count int64 `json:"count"`
+	Sum   int64 `json:"sum"`
+	Min   int64 `json:"min"`
+	Max   int64 `json:"max"`
+	// Buckets lists non-empty buckets in ascending index order.
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot copies the current state. A nil histogram yields an empty
+// snapshot.
+func (h *Histogram) Snapshot() Snapshot {
+	if h == nil {
+		return Snapshot{}
+	}
+	s := Snapshot{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+		Min:   h.Min(),
+		Max:   h.Max(),
+	}
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n > 0 {
+			s.Buckets = append(s.Buckets, Bucket{Index: i, Count: n})
+		}
+	}
+	return s
+}
+
+// Merge folds other into s (cross-process aggregation).
+func (s *Snapshot) Merge(other Snapshot) {
+	if other.Count == 0 {
+		return
+	}
+	if s.Count == 0 {
+		s.Min, s.Max = other.Min, other.Max
+	} else {
+		if other.Min < s.Min {
+			s.Min = other.Min
+		}
+		if other.Max > s.Max {
+			s.Max = other.Max
+		}
+	}
+	s.Count += other.Count
+	s.Sum += other.Sum
+	merged := make(map[int]int64, len(s.Buckets)+len(other.Buckets))
+	for _, b := range s.Buckets {
+		merged[b.Index] += b.Count
+	}
+	for _, b := range other.Buckets {
+		merged[b.Index] += b.Count
+	}
+	s.Buckets = s.Buckets[:0]
+	for i := 0; i < nBuckets; i++ {
+		if n := merged[i]; n > 0 {
+			s.Buckets = append(s.Buckets, Bucket{Index: i, Count: n})
+		}
+	}
+}
+
+// Quantile estimates the q-quantile of the snapshot's population. The
+// result is the upper bound of the bucket holding the target rank, clamped
+// to the observed [Min, Max], so Quantile(1) == Max and Quantile(0) == Min.
+func (s Snapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return s.Min
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(q * float64(s.Count))
+	if target < 1 {
+		target = 1
+	}
+	var seen int64
+	for _, b := range s.Buckets {
+		seen += b.Count
+		if seen >= target {
+			v := bucketHigh(b.Index)
+			if v > s.Max {
+				v = s.Max
+			}
+			if v < s.Min {
+				v = s.Min
+			}
+			return v
+		}
+	}
+	return s.Max
+}
+
+// Mean returns the average observation, zero when empty.
+func (s Snapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}

@@ -1,0 +1,161 @@
+package hist
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestNilHistogramIsInert(t *testing.T) {
+	var h *Histogram
+	h.Observe(42) // must not panic
+	if h.Count() != 0 || h.Sum() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("nil histogram reported non-zero aggregates")
+	}
+	if q := h.Quantile(0.99); q != 0 {
+		t.Fatalf("nil histogram Quantile = %d, want 0", q)
+	}
+	s := h.Snapshot()
+	if s.Count != 0 || len(s.Buckets) != 0 {
+		t.Fatalf("nil histogram snapshot not empty: %+v", s)
+	}
+}
+
+func TestSmallValuesExact(t *testing.T) {
+	var h Histogram
+	for v := int64(0); v < 8; v++ {
+		h.Observe(v)
+	}
+	if h.Count() != 8 || h.Sum() != 28 {
+		t.Fatalf("count/sum = %d/%d, want 8/28", h.Count(), h.Sum())
+	}
+	if h.Min() != 0 || h.Max() != 7 {
+		t.Fatalf("min/max = %d/%d, want 0/7", h.Min(), h.Max())
+	}
+	// Values below 2^subBits land in exact unit buckets, so low quantiles
+	// are exact.
+	if q := h.Quantile(0.5); q != 3 {
+		t.Fatalf("P50 = %d, want 3", q)
+	}
+	if q := h.Quantile(1); q != 7 {
+		t.Fatalf("P100 = %d, want 7", q)
+	}
+}
+
+func TestBucketLayoutContiguous(t *testing.T) {
+	for i := 0; i < nBuckets-1; i++ {
+		if bucketHigh(i)+1 != bucketLow(i+1) {
+			t.Fatalf("gap between bucket %d (high %d) and %d (low %d)",
+				i, bucketHigh(i), i+1, bucketLow(i+1))
+		}
+		if got := bucketIndex(bucketLow(i)); got != i {
+			t.Fatalf("bucketIndex(bucketLow(%d)) = %d", i, got)
+		}
+		if got := bucketIndex(bucketHigh(i)); got != i {
+			t.Fatalf("bucketIndex(bucketHigh(%d)) = %d", i, got)
+		}
+	}
+	if got := bucketIndex(math.MaxInt64); got != nBuckets-1 {
+		t.Fatalf("bucketIndex(MaxInt64) = %d, want %d", got, nBuckets-1)
+	}
+}
+
+func TestQuantileRelativeError(t *testing.T) {
+	var h Histogram
+	for v := int64(1); v <= 100000; v++ {
+		h.Observe(v)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		exact := int64(q * 100000)
+		got := h.Quantile(q)
+		if got < exact {
+			t.Fatalf("Q(%g) = %d below exact rank value %d", q, got, exact)
+		}
+		if err := float64(got-exact) / float64(exact); err > 0.125 {
+			t.Fatalf("Q(%g) = %d, exact %d, relative error %.3f > 0.125", q, got, exact, err)
+		}
+	}
+	if h.Quantile(1) != h.Max() {
+		t.Fatalf("Q(1) = %d, want max %d", h.Quantile(1), h.Max())
+	}
+	if h.Quantile(0) != h.Min() {
+		t.Fatalf("Q(0) = %d, want min %d", h.Quantile(0), h.Min())
+	}
+}
+
+func TestNegativeClampedToZero(t *testing.T) {
+	var h Histogram
+	h.Observe(-5)
+	if h.Count() != 1 || h.Min() != 0 || h.Max() != 0 || h.Sum() != 0 {
+		t.Fatalf("negative observation not clamped: %+v", h.Snapshot())
+	}
+}
+
+func TestSnapshotMerge(t *testing.T) {
+	var a, b Histogram
+	for v := int64(0); v < 100; v++ {
+		a.Observe(v)
+	}
+	for v := int64(100); v < 200; v++ {
+		b.Observe(v)
+	}
+	s := a.Snapshot()
+	s.Merge(b.Snapshot())
+	if s.Count != 200 {
+		t.Fatalf("merged count = %d, want 200", s.Count)
+	}
+	if s.Min != 0 || s.Max != 199 {
+		t.Fatalf("merged min/max = %d/%d, want 0/199", s.Min, s.Max)
+	}
+	if s.Sum != 199*200/2 {
+		t.Fatalf("merged sum = %d, want %d", s.Sum, 199*200/2)
+	}
+	exact := int64(100) // rank-100 value of 0..199
+	got := s.Quantile(0.5)
+	if got < exact-1 || float64(got-exact)/float64(exact) > 0.125 {
+		t.Fatalf("merged P50 = %d, exact %d", got, exact)
+	}
+	// Merging an empty snapshot is a no-op.
+	before := s.Count
+	s.Merge(Snapshot{})
+	if s.Count != before {
+		t.Fatalf("empty merge changed count")
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(int64(g*1000 + i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count = %d, want 8000", h.Count())
+	}
+	if h.Min() != 0 || h.Max() != 7999 {
+		t.Fatalf("min/max = %d/%d, want 0/7999", h.Min(), h.Max())
+	}
+}
+
+func BenchmarkObserve(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}
+
+func BenchmarkNilObserve(b *testing.B) {
+	var h *Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}

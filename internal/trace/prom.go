@@ -1,0 +1,66 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// promQuantiles are the summary quantiles exposed for every histogram.
+var promQuantiles = []float64{0.5, 0.9, 0.99, 0.999}
+
+// promName converts a registry key ("sub.name") into a legal Prometheus
+// metric name with the repo-wide prefix.
+func promName(key string) string {
+	var b strings.Builder
+	b.WriteString("versadep_")
+	for _, r := range key {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format: every counter as an untyped sample, every histogram as a
+// summary with quantile lines plus _sum and _count. Output is sorted by
+// metric name, so scrapes are deterministic for a given snapshot.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	keys := make([]string, 0, len(s.Counters))
+	for k := range s.Counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		name := promName(k)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, s.Counters[k]); err != nil {
+			return err
+		}
+	}
+	hkeys := make([]string, 0, len(s.Histograms))
+	for k := range s.Histograms {
+		hkeys = append(hkeys, k)
+	}
+	sort.Strings(hkeys)
+	for _, k := range hkeys {
+		h := s.Histograms[k]
+		name := promName(k)
+		if _, err := fmt.Fprintf(w, "# TYPE %s summary\n", name); err != nil {
+			return err
+		}
+		for _, q := range promQuantiles {
+			if _, err := fmt.Fprintf(w, "%s{quantile=%q} %d\n", name, fmt.Sprintf("%g", q), h.Quantile(q)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", name, h.Sum, name, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

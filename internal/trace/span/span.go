@@ -1,0 +1,283 @@
+// Package span records causal, virtual-time spans: per-request timelines
+// that reconstruct the paper's Figure 3 round-trip breakdown for a single
+// invocation, and per-protocol-phase timelines (style switch, failover)
+// matching its switching-delay measurements.
+//
+// A trace is a string key shared by all spans of one causal activity —
+// RequestTrace ties every layer's work for one client invocation together
+// via the VIOP (client id, request id) pair that already rides the wire,
+// so no new protocol metadata is needed. Each layer attaches completed
+// spans whose duration equals exactly what that layer charged to the
+// vtime.Ledger, which is what makes Breakdown agree with the ledger's
+// per-component attribution.
+//
+// The Recorder follows the same nil-safe discipline as trace.Counter: a
+// nil *Recorder is inert, and call sites gate their key construction on
+// On() so that disabled span recording adds zero allocations to the
+// invoke hot path.
+package span
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+
+	"versadep/internal/vtime"
+)
+
+// Component names for Span.Comp. These deliberately equal the String()
+// forms of vtime.Component so a span breakdown can be compared 1:1 with a
+// ledger breakdown.
+const (
+	CompApp        = "Application"
+	CompORB        = "ORB"
+	CompGC         = "GroupCommunication"
+	CompReplicator = "Replicator"
+)
+
+// Span is one timed step of a causal trace. Start and End are virtual
+// times; spans with Start == End are markers (protocol milestones with no
+// charged cost). Comp attributes the span's duration to a Figure 3
+// component; spans with an empty Comp (roots, markers, bookkeeping) are
+// excluded from Breakdown so they never double-count.
+type Span struct {
+	Trace string     `json:"trace"`
+	Name  string     `json:"name"`
+	Comp  string     `json:"comp,omitempty"`
+	Node  string     `json:"node,omitempty"`
+	Start vtime.Time `json:"start"`
+	End   vtime.Time `json:"end"`
+	Value int64      `json:"value,omitempty"`
+	Note  string     `json:"note,omitempty"`
+}
+
+// Duration returns End - Start.
+func (s Span) Duration() vtime.Duration { return s.End.Sub(s.Start) }
+
+// DefaultCap is the span ring capacity used when New is given cap <= 0.
+const DefaultCap = 4096
+
+// Recorder keeps a bounded ring of finished spans plus a small map of
+// still-open ones (Begin/End pairs for long-running protocol phases). All
+// methods are safe on a nil receiver and safe for concurrent use.
+type Recorder struct {
+	mu    sync.Mutex
+	node  string
+	ring  []Span
+	next  int
+	count int
+	open  map[string]Span
+}
+
+// New returns a Recorder retaining at most capacity finished spans
+// (DefaultCap when capacity <= 0).
+func New(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCap
+	}
+	return &Recorder{ring: make([]Span, capacity), open: make(map[string]Span)}
+}
+
+// On reports whether span recording is enabled. Call sites use it to skip
+// trace-key construction entirely when recording is off:
+//
+//	if sp.On() {
+//	    sp.Add(span.RequestTrace(cid, rid), ...)
+//	}
+func (r *Recorder) On() bool { return r != nil }
+
+// SetNode stamps every subsequently recorded span with the given node
+// address, so merged cross-process snapshots stay attributable.
+func (r *Recorder) SetNode(node string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.node = node
+	r.mu.Unlock()
+}
+
+func (r *Recorder) push(s Span) {
+	s.Node = r.node
+	r.ring[r.next] = s
+	r.next = (r.next + 1) % len(r.ring)
+	r.count++
+}
+
+// Add records a finished span.
+func (r *Recorder) Add(trace, name, comp string, start, end vtime.Time) {
+	r.Annotate(trace, name, comp, start, end, 0, "")
+}
+
+// Annotate records a finished span with an attached value and note.
+func (r *Recorder) Annotate(trace, name, comp string, start, end vtime.Time, value int64, note string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.push(Span{Trace: trace, Name: name, Comp: comp, Start: start, End: end, Value: value, Note: note})
+	r.mu.Unlock()
+}
+
+// Begin opens a span under key, to be finished later by End. An existing
+// open span under the same key is replaced (last writer wins; protocol
+// code uses distinct keys per concurrent phase).
+func (r *Recorder) Begin(key, trace, name, comp string, start vtime.Time) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.open[key] = Span{Trace: trace, Name: name, Comp: comp, Start: start}
+	r.mu.Unlock()
+}
+
+// End closes the open span under key, records it with the given end time
+// and note, and returns it. ok is false when no span is open under key —
+// allowing a "close with annotation" site (e.g. a failover handler) to
+// win the race against the normal close site without double-recording.
+func (r *Recorder) End(key string, end vtime.Time, note string) (s Span, ok bool) {
+	if r == nil {
+		return Span{}, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok = r.open[key]
+	if !ok {
+		return Span{}, false
+	}
+	delete(r.open, key)
+	s.End = end
+	s.Note = note
+	r.push(s)
+	s.Node = r.node
+	return s, true
+}
+
+// CloseOpen force-closes every open span at the given end time with the
+// given note (e.g. "failover" when a crash interrupts in-flight phases)
+// and returns how many were closed. Open spans must never leak: a trace
+// that loses its closer is closed here with the reason annotated.
+func (r *Recorder) CloseOpen(end vtime.Time, note string) int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := len(r.open)
+	keys := make([]string, 0, n)
+	for k := range r.open {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // deterministic recording order
+	for _, k := range keys {
+		s := r.open[k]
+		delete(r.open, k)
+		s.End = end
+		s.Note = note
+		r.push(s)
+	}
+	return n
+}
+
+// OpenCount returns the number of spans currently open (zero on nil).
+func (r *Recorder) OpenCount() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.open)
+}
+
+// Snapshot returns the retained finished spans, oldest first, plus the
+// number of spans dropped by the ring.
+func (r *Recorder) Snapshot() (spans []Span, dropped int) {
+	if r == nil {
+		return nil, 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.count
+	if n > len(r.ring) {
+		dropped = n - len(r.ring)
+		n = len(r.ring)
+	}
+	spans = make([]Span, 0, n)
+	start := (r.next - n + len(r.ring)) % len(r.ring)
+	for i := 0; i < n; i++ {
+		spans = append(spans, r.ring[(start+i)%len(r.ring)])
+	}
+	return spans, dropped
+}
+
+// RequestTrace is the trace key for one client invocation, derived from
+// the VIOP identity that already rides every request and reply frame.
+func RequestTrace(clientID string, reqID uint64) string {
+	return "req:" + clientID + "#" + strconv.FormatUint(reqID, 10)
+}
+
+// SwitchTrace is the trace key for one runtime style switch, keyed by the
+// totally ordered sequence number of its SWITCH_START message (identical
+// on every replica).
+func SwitchTrace(seq uint64) string {
+	return "switch:" + strconv.FormatUint(seq, 10)
+}
+
+// FailoverTrace is the trace key for the n-th failover handled by a node.
+func FailoverTrace(node string, n uint64) string {
+	return "failover:" + node + "#" + strconv.FormatUint(n, 10)
+}
+
+// CheckpointTrace is the trace key for one checkpoint, keyed by the
+// primary that took it and its serial.
+func CheckpointTrace(node string, serial uint64) string {
+	return "ckpt:" + node + "#" + strconv.FormatUint(serial, 10)
+}
+
+// Timeline returns the spans of one trace in causal display order
+// (ascending Start, ties broken by End then Name for determinism).
+func Timeline(spans []Span, trace string) []Span {
+	var out []Span
+	for _, s := range spans {
+		if s.Trace == trace {
+			out = append(out, s)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start.Before(out[j].Start)
+		}
+		if out[i].End != out[j].End {
+			return out[i].End.Before(out[j].End)
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Breakdown sums span durations per component for one trace — the
+// per-request analogue of vtime.Ledger's Figure 3 attribution. Spans with
+// an empty Comp (roots and markers) are excluded.
+func Breakdown(spans []Span, trace string) map[string]vtime.Duration {
+	out := make(map[string]vtime.Duration)
+	for _, s := range spans {
+		if s.Trace == trace && s.Comp != "" {
+			out[s.Comp] += s.Duration()
+		}
+	}
+	return out
+}
+
+// Traces returns the distinct trace keys present in spans, in first-seen
+// order.
+func Traces(spans []Span) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, s := range spans {
+		if !seen[s.Trace] {
+			seen[s.Trace] = true
+			out = append(out, s.Trace)
+		}
+	}
+	return out
+}

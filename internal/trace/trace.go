@@ -32,8 +32,15 @@ import (
 	"sync/atomic"
 
 	"versadep/internal/monitor"
+	"versadep/internal/trace/hist"
+	"versadep/internal/trace/span"
 	"versadep/internal/vtime"
 )
+
+// Histogram is a log-bucketed latency histogram registered next to
+// counters; see the hist package for the bucket layout and accuracy
+// bound. Like Counter, a nil *Histogram is a no-op.
+type Histogram = hist.Histogram
 
 // Subsystem names used throughout the stack. Counters are namespaced as
 // "<subsystem>.<name>" in snapshots and series labels.
@@ -124,6 +131,11 @@ type Recorder struct {
 	evNext  int     // next write slot
 	evCount int     // total events ever recorded
 	evCap   int
+
+	hists     map[string]*Histogram
+	histOrder []string
+
+	spans *span.Recorder
 }
 
 // New creates a recorder with the default event capacity.
@@ -135,6 +147,8 @@ func NewWithCap(cap int) *Recorder {
 	return &Recorder{
 		counters: make(map[string]*Counter),
 		evCap:    cap,
+		hists:    make(map[string]*Histogram),
+		spans:    span.New(0),
 	}
 }
 
@@ -169,6 +183,34 @@ func (r *Recorder) Value(sub, name string) int64 {
 	return c.Load()
 }
 
+// Histogram returns the histogram for sub.name, creating it on first use.
+// Callers resolve histograms once and keep the pointer; a nil Recorder
+// returns a nil (no-op) Histogram.
+func (r *Recorder) Histogram(sub, name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	key := sub + "." + name
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[key]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[key] = h
+		r.histOrder = append(r.histOrder, key)
+	}
+	return h
+}
+
+// Spans returns the recorder's causal span layer (nil, and therefore
+// inert, on a nil Recorder).
+func (r *Recorder) Spans() *span.Recorder {
+	if r == nil {
+		return nil
+	}
+	return r.spans
+}
+
 // Event records a typed occurrence. No-op on a nil Recorder or when the
 // event ring is disabled.
 func (r *Recorder) Event(sub, name string, vt vtime.Time, value int64) {
@@ -195,6 +237,16 @@ type Snapshot struct {
 	Events []Event `json:"events,omitempty"`
 	// EventsDropped counts events that fell out of the ring.
 	EventsDropped int `json:"events_dropped,omitempty"`
+	// Histograms maps "sub.name" to its bucketed distribution.
+	Histograms map[string]hist.Snapshot `json:"histograms,omitempty"`
+	// Spans are the retained finished causal spans, oldest first.
+	Spans []span.Span `json:"spans,omitempty"`
+	// SpansDropped counts spans that fell out of the span ring.
+	SpansDropped int `json:"spans_dropped,omitempty"`
+	// SpansOpen counts spans still open (Begin without End) at snapshot
+	// time — should be zero once a run has quiesced; a persistent nonzero
+	// value means a protocol phase leaked its closer.
+	SpansOpen int `json:"spans_open,omitempty"`
 }
 
 // Get returns the snapshot value of sub.name (zero when absent).
@@ -223,6 +275,14 @@ func (r *Recorder) Snapshot() Snapshot {
 		}
 		snap.EventsDropped = r.evCount - n
 	}
+	if len(r.hists) > 0 {
+		snap.Histograms = make(map[string]hist.Snapshot, len(r.hists))
+		for key, h := range r.hists {
+			snap.Histograms[key] = h.Snapshot()
+		}
+	}
+	snap.Spans, snap.SpansDropped = r.spans.Snapshot()
+	snap.SpansOpen = r.spans.OpenCount()
 	return snap
 }
 
@@ -242,11 +302,28 @@ func (s Snapshot) JSON() []byte {
 	for _, k := range keys {
 		ordered = append(ordered, kv{k, s.Counters[k]})
 	}
+	hkeys := make([]string, 0, len(s.Histograms))
+	for k := range s.Histograms {
+		hkeys = append(hkeys, k)
+	}
+	sort.Strings(hkeys)
+	type hkv struct {
+		Name string        `json:"name"`
+		Hist hist.Snapshot `json:"hist"`
+	}
+	horder := make([]hkv, 0, len(hkeys))
+	for _, k := range hkeys {
+		horder = append(horder, hkv{k, s.Histograms[k]})
+	}
 	out, err := json.MarshalIndent(struct {
-		Counters      []kv    `json:"counters"`
-		Events        []Event `json:"events,omitempty"`
-		EventsDropped int     `json:"events_dropped,omitempty"`
-	}{ordered, s.Events, s.EventsDropped}, "", "  ")
+		Counters      []kv        `json:"counters"`
+		Events        []Event     `json:"events,omitempty"`
+		EventsDropped int         `json:"events_dropped,omitempty"`
+		Histograms    []hkv       `json:"histograms,omitempty"`
+		Spans         []span.Span `json:"spans,omitempty"`
+		SpansDropped  int         `json:"spans_dropped,omitempty"`
+		SpansOpen     int         `json:"spans_open,omitempty"`
+	}{ordered, s.Events, s.EventsDropped, horder, s.Spans, s.SpansDropped, s.SpansOpen}, "", "  ")
 	if err != nil { // unreachable: all fields are marshalable
 		return []byte(fmt.Sprintf("%q", err.Error()))
 	}
@@ -274,7 +351,10 @@ func (r *Recorder) SampleSeries(s *monitor.Series, vt vtime.Time) {
 
 // Merge sums every counter of each snapshot into one aggregate — the
 // cluster-wide totals an experiment reports when each node has its own
-// Recorder. Events are concatenated in argument order.
+// Recorder. Counters with the same "sub.name" key on different nodes sum;
+// histograms with the same key merge bucket-wise; events and spans are
+// concatenated in argument order (spans stay attributable through their
+// Node field).
 func Merge(snaps ...Snapshot) Snapshot {
 	out := Snapshot{Counters: make(map[string]int64)}
 	for _, s := range snaps {
@@ -283,6 +363,17 @@ func Merge(snaps ...Snapshot) Snapshot {
 		}
 		out.Events = append(out.Events, s.Events...)
 		out.EventsDropped += s.EventsDropped
+		for k, h := range s.Histograms {
+			if out.Histograms == nil {
+				out.Histograms = make(map[string]hist.Snapshot)
+			}
+			merged := out.Histograms[k]
+			merged.Merge(h)
+			out.Histograms[k] = merged
+		}
+		out.Spans = append(out.Spans, s.Spans...)
+		out.SpansDropped += s.SpansDropped
+		out.SpansOpen += s.SpansOpen
 	}
 	return out
 }
