@@ -25,18 +25,29 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"os/signal"
 	"strings"
 	"syscall"
 	"time"
 
+	"versadep/internal/gcs"
 	"versadep/internal/introspect"
+	"versadep/internal/policy"
 	"versadep/internal/replication"
 	"versadep/internal/replicator"
 	"versadep/internal/transport/tcptransport"
 	"versadep/internal/vtime"
 	"versadep/internal/workload"
 )
+
+// policyOpts bundles the autonomic-adaptation flags for the replica role.
+type policyOpts struct {
+	spec     string
+	cooldown time.Duration
+	every    time.Duration
+	spawnCmd string
+}
 
 func main() {
 	var (
@@ -49,10 +60,15 @@ func main() {
 		style    = flag.String("style", "active", "replication style (replica role)")
 		requests = flag.Int("requests", 100, "requests to issue (client role)")
 		traceDmp = flag.Bool("trace", false, "dump the trace-counter registry as JSON on exit")
-		intro    = flag.String("introspect", "", "host:port for the live introspection endpoint (/metrics, /trace, /debug/pprof)")
+		intro    = flag.String("introspect", "", "host:port for the live introspection endpoint (/metrics, /trace, /policy, /debug/pprof)")
+		polSpec  = flag.String("policy", "", "autonomic policy stack in priority order, e.g. \"avail=0.995:5,rate=500:250,bwcap=3:2\" (replica role)")
+		cooldown = flag.Duration("cooldown", 5*time.Second, "minimum time between actuations of the same knob (flap damping)")
+		adaptEv  = flag.Duration("adapt-every", time.Second, "controller sampling period")
+		spawnCmd = flag.String("spawn-cmd", "", "shell command launching one fresh replica (gets VDNODE_SEEDS in its environment); enables the grow knob")
 	)
 	flag.Parse()
-	if err := run(*role, *name, *bind, *peersStr, *seedsStr, *members, *style, *requests, *traceDmp, *intro); err != nil {
+	pol := policyOpts{spec: *polSpec, cooldown: *cooldown, every: *adaptEv, spawnCmd: *spawnCmd}
+	if err := run(*role, *name, *bind, *peersStr, *seedsStr, *members, *style, *requests, *traceDmp, *intro, pol); err != nil {
 		fmt.Fprintln(os.Stderr, "vdnode:", err)
 		os.Exit(1)
 	}
@@ -87,7 +103,7 @@ func splitList(s string) []string {
 	return out
 }
 
-func run(role, name, bind, peersStr, seedsStr, membersStr, styleName string, requests int, traceDump bool, intro string) error {
+func run(role, name, bind, peersStr, seedsStr, membersStr, styleName string, requests int, traceDump bool, intro string, pol policyOpts) error {
 	if name == "" || bind == "" {
 		return fmt.Errorf("-name and -bind are required")
 	}
@@ -102,7 +118,7 @@ func run(role, name, bind, peersStr, seedsStr, membersStr, styleName string, req
 
 	switch role {
 	case "replica":
-		return runReplica(ep, splitList(seedsStr), styleName, traceDump, intro)
+		return runReplica(ep, splitList(seedsStr), styleName, traceDump, intro, pol)
 	case "client":
 		return runClient(ep, splitList(membersStr), requests, traceDump, intro)
 	default:
@@ -113,19 +129,62 @@ func run(role, name, bind, peersStr, seedsStr, membersStr, styleName string, req
 
 // serveIntrospect starts the live observability endpoint when addr is
 // nonempty, returning a cleanup func (a no-op when disabled).
-func serveIntrospect(addr string, src introspect.Source) (func(), error) {
+func serveIntrospect(addr string, src introspect.Source, opts ...introspect.Option) (func(), error) {
 	if addr == "" {
 		return func() {}, nil
 	}
-	s, err := introspect.Start(addr, src)
+	s, err := introspect.Start(addr, src, opts...)
 	if err != nil {
 		return nil, fmt.Errorf("introspect: %w", err)
 	}
-	fmt.Printf("introspection at http://%s/ (/metrics, /trace, /debug/pprof)\n", s.Addr())
+	fmt.Printf("introspection at http://%s/ (/metrics, /trace, /policy, /debug/pprof)\n", s.Addr())
 	return func() { _ = s.Close() }, nil
 }
 
-func runReplica(ep *tcptransport.Endpoint, seeds []string, styleName string, traceDump bool, intro string) error {
+// startController builds and starts the autonomic controller for a
+// replica when a policy spec is given. The controller runs on every
+// replica but is gated to actuate only while this node is the synced
+// primary, so the group has exactly one closed loop at any time (and it
+// migrates with the primary role on failover).
+func startController(node *replicator.ReplicaNode, pol policyOpts) (*policy.Controller, func(), error) {
+	if pol.spec == "" {
+		return nil, func() {}, nil
+	}
+	policies, err := policy.ParseSpec(pol.spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	act := &replicator.ElasticActuator{Node: node}
+	if pol.spawnCmd != "" {
+		cmd := pol.spawnCmd
+		act.Spawn = func(seeds []string) error {
+			c := exec.Command("/bin/sh", "-c", cmd)
+			c.Env = append(os.Environ(), "VDNODE_SEEDS="+strings.Join(seeds, ","))
+			c.Stdout, c.Stderr = os.Stdout, os.Stderr
+			return c.Start()
+		}
+	}
+	ctrl := policy.New(policy.Config{
+		Policies: policies,
+		Sample:   node.Sensors(nil),
+		Actuator: act,
+		Cooldown: pol.cooldown,
+		Gate:     node.PolicyGate(),
+		OnEntry: func(e policy.Entry) {
+			if e.Err != "" {
+				fmt.Printf("[%s] policy %s: %s %s FAILED: %s\n", node.Addr(), e.Policy, e.Knob, e.Action, e.Err)
+				return
+			}
+			fmt.Printf("[%s] policy %s: %s — %s\n", node.Addr(), e.Policy, e.Action, e.Reason)
+		},
+	})
+	stop := ctrl.Start(pol.every)
+	fmt.Printf("[%s] autonomic controller on (%s), cooldown %v, sampling every %v\n",
+		node.Addr(), pol.spec, pol.cooldown, pol.every)
+	return ctrl, stop, nil
+}
+
+func runReplica(ep *tcptransport.Endpoint, seeds []string, styleName string, traceDump bool, intro string, pol policyOpts) error {
 	style, err := replication.ParseStyle(styleName)
 	if err != nil {
 		return err
@@ -149,12 +208,27 @@ func runReplica(ep *tcptransport.Endpoint, seeds []string, styleName string, tra
 					fmt.Printf("[%s] failover complete\n", n.Addr)
 				case replication.NoticeCheckpoint:
 					fmt.Printf("[%s] checkpoint\n", n.Addr)
+				case replication.NoticeRetire:
+					fmt.Printf("[%s] retirement directive for %s\n", n.Addr, n.Peer)
+				case replication.NoticeView:
+					fmt.Printf("[%s] view change: %d members (%d crashed)\n", n.Addr, n.Members, n.Crashed)
 				}
 			},
 		},
 	})
 	node.Register("Bench", app)
-	closeIntro, err := serveIntrospect(intro, node.TraceSnapshot)
+	ctrl, stopCtrl, err := startController(node, pol)
+	if err != nil {
+		node.Leave()
+		return err
+	}
+	defer stopCtrl()
+	var introOpts []introspect.Option
+	if ctrl != nil {
+		introOpts = append(introOpts,
+			introspect.WithJSON("/policy", func() any { return ctrl.Status() }))
+	}
+	closeIntro, err := serveIntrospect(intro, node.TraceSnapshot, introOpts...)
 	if err != nil {
 		node.Leave()
 		return err
@@ -179,6 +253,15 @@ func runReplica(ep *tcptransport.Endpoint, seeds []string, styleName string, tra
 		case <-ticker.C:
 			st := node.Engine().StatsSnapshot()
 			v, err := node.Member().View()
+			if err == gcs.ErrStopped {
+				// A retirement directive made this replica leave the
+				// group; the process is done.
+				fmt.Printf("[%s] retired gracefully\n", ep.Addr())
+				if traceDump {
+					fmt.Printf("[%s] trace:\n%s\n", ep.Addr(), node.TraceSnapshot().JSON())
+				}
+				return nil
+			}
 			if err != nil {
 				continue
 			}

@@ -8,6 +8,8 @@
 //	vdsim -style active -replicas 3 -clients 2 -requests 500
 //	vdsim -style warm-passive -replicas 3 -crash-primary-at 200
 //	vdsim -style warm-passive -switch-to active -switch-at 250
+//	vdsim -style active -replicas 2 -grow-at 100 -retire-at 300
+//	vdsim -style active -clients 4 -adapt rate=2000:500
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 
 	"versadep/internal/experiment"
 	"versadep/internal/monitor"
+	"versadep/internal/policy"
 	"versadep/internal/replication"
 	"versadep/internal/trace"
 	"versadep/internal/trace/span"
@@ -40,16 +43,44 @@ func main() {
 		crashAt   = flag.Int("crash-primary-at", 0, "request index at which to crash the rank-0 replica")
 		traceDump = flag.Bool("trace", false, "dump the merged trace-counter registry as JSON on exit")
 		spanDump  = flag.Int("spans", 0, "print causal span timelines for the first N request traces plus all protocol phases")
+		growAt    = flag.Int("grow-at", 0, "request index at which to spawn one fresh replica (live join + state transfer)")
+		retireAt  = flag.Int("retire-at", 0, "request index at which to gracefully retire the highest-ranked replica")
+		adapt     = flag.String("adapt", "", "comma-separated policy specs driving an autonomic controller, e.g. rate=2000:500,avail=0.995:5,bwcap=3.0 (see internal/policy)")
+		cooldown  = flag.Duration("adapt-cooldown", 200*time.Millisecond, "per-knob cooldown between controller actuations")
 	)
 	flag.Parse()
-	if err := run(*styleName, *replicas, *clients, *requests, *ckpt, *seed, *switchTo, *switchAt, *crashAt, *traceDump, *spanDump); err != nil {
+	cfg := runConfig{
+		style: *styleName, replicas: *replicas, clients: *clients,
+		requests: *requests, ckpt: *ckpt, seed: *seed,
+		switchTo: *switchTo, switchAt: *switchAt, crashAt: *crashAt,
+		traceDump: *traceDump, spanDump: *spanDump,
+		growAt: *growAt, retireAt: *retireAt,
+		adapt: *adapt, cooldown: *cooldown,
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "vdsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(styleName string, replicas, clients, requests, ckpt int, seed uint64,
-	switchTo string, switchAt, crashAt int, traceDump bool, spanDump int) error {
+type runConfig struct {
+	style             string
+	replicas, clients int
+	requests, ckpt    int
+	seed              uint64
+	switchTo          string
+	switchAt, crashAt int
+	traceDump         bool
+	spanDump          int
+	growAt, retireAt  int
+	adapt             string
+	cooldown          time.Duration
+}
+
+func run(cfg runConfig) error {
+	styleName, replicas, clients, requests := cfg.style, cfg.replicas, cfg.clients, cfg.requests
+	ckpt, seed, switchTo := cfg.ckpt, cfg.seed, cfg.switchTo
+	switchAt, crashAt, traceDump, spanDump := cfg.switchAt, cfg.crashAt, cfg.traceDump, cfg.spanDump
 	style, err := replication.ParseStyle(styleName)
 	if err != nil {
 		return err
@@ -86,6 +117,27 @@ func run(styleName string, replicas, clients, requests, ckpt int, seed uint64,
 	fmt.Printf("scenario: %s, %d replicas, %d clients, %d requests/client\n",
 		style, replicas, clients, requests)
 
+	var ctrl *policy.Controller
+	if cfg.adapt != "" {
+		policies, err := policy.ParseSpec(cfg.adapt)
+		if err != nil {
+			return err
+		}
+		ctrl = policy.New(policy.Config{
+			Policies: policies,
+			Sample:   scn.Sensors(),
+			Actuator: scn.Actuator(),
+			Cooldown: cfg.cooldown,
+			OnEntry: func(e policy.Entry) {
+				if e.Err != "" {
+					fmt.Printf("  [policy %s] %s %s failed: %s\n", e.Policy, e.Knob, e.Action, e.Err)
+					return
+				}
+				fmt.Printf("  [policy %s] %s: %s (%s)\n", e.Policy, e.Knob, e.Action, e.Reason)
+			},
+		})
+	}
+
 	var lat monitor.LatencyMonitor
 	err = scn.RunClosedLoop(func(i int, vt vtime.Time, rtt vtime.Duration) {
 		lat.Record(rtt)
@@ -96,6 +148,25 @@ func run(styleName string, replicas, clients, requests, ckpt int, seed uint64,
 		if crashAt > 0 && i == crashAt {
 			fmt.Printf("  [req %d] crashing rank-0 replica\n", i)
 			scn.CrashPrimary()
+		}
+		if cfg.growAt > 0 && i == cfg.growAt {
+			if addr, err := scn.Grow(); err != nil {
+				fmt.Printf("  [req %d] grow failed: %v\n", i, err)
+			} else {
+				fmt.Printf("  [req %d] spawned %s (live join + state transfer)\n", i, addr)
+			}
+		}
+		if cfg.retireAt > 0 && i == cfg.retireAt {
+			if err := scn.Retire("", vt); err != nil {
+				fmt.Printf("  [req %d] retire failed: %v\n", i, err)
+			} else {
+				fmt.Printf("  [req %d] retiring highest-ranked replica\n", i)
+			}
+		}
+		// Step the controller at a coarse cadence so each step sees fresh
+		// rate and tail-latency samples rather than per-request noise.
+		if ctrl != nil && i > 0 && i%25 == 0 {
+			ctrl.Step()
 		}
 	})
 	if err != nil {
@@ -195,6 +266,11 @@ func printNotices(notices []replication.Notice) {
 		case replication.NoticeFailover:
 			fmt.Printf("  %-10s failover complete (recovery %.1fµs)\n",
 				n.Addr, n.Delay.Seconds()*1e6)
+		case replication.NoticeRetire:
+			fmt.Printf("  %-10s retirement directive for %s\n", n.Addr, n.Peer)
+		case replication.NoticeView:
+			fmt.Printf("  %-10s view change: %d members (%d crashed)\n",
+				n.Addr, n.Members, n.Crashed)
 		case replication.NoticeCheckpoint:
 			// Checkpoints are frequent; summarize only.
 		}

@@ -11,6 +11,7 @@ package experiment
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"versadep/internal/interceptor"
@@ -84,6 +85,15 @@ type env struct {
 	clients []*replicator.ClientNode
 	opts    Options
 	label   string
+
+	// mu guards nodes/apps/nextReplica against concurrent growth: the
+	// controller can spawn replicas while clients and observers iterate.
+	mu sync.Mutex
+	// adapt and observer are reapplied to replicas spawned at runtime.
+	adapt    replication.AdaptPolicy
+	observer func(replication.Notice)
+	// nextReplica numbers runtime-spawned replicas ("replica-a" + i).
+	nextReplica int
 }
 
 // buildEnv boots a group of n replicas in the given style plus c clients.
@@ -92,7 +102,8 @@ func buildEnv(o Options, style replication.Style, replicas, clients int,
 	adapt replication.AdaptPolicy, observer func(replication.Notice)) (*env, error) {
 	model := o.Model
 	net := simnet.New(simnet.WithCostModel(model), simnet.WithSeed(o.Seed))
-	e := &env{net: net, opts: o, label: fmt.Sprintf("%s-r%d-c%d", style, replicas, clients)}
+	e := &env{net: net, opts: o, label: fmt.Sprintf("%s-r%d-c%d", style, replicas, clients),
+		adapt: adapt, observer: observer, nextReplica: replicas}
 
 	var seeds []string
 	for i := 0; i < replicas; i++ {
@@ -174,10 +185,75 @@ func (e *env) waitGroupSize(want int) error {
 	}
 }
 
+// liveNodes returns the replicas that are neither crashed nor stopped
+// (retired replicas stop their group membership, so a View() error marks
+// them as departed even though the fabric never "crashed" them).
+func (e *env) liveNodes() []*replicator.ReplicaNode {
+	e.mu.Lock()
+	nodes := append([]*replicator.ReplicaNode(nil), e.nodes...)
+	e.mu.Unlock()
+	var out []*replicator.ReplicaNode
+	for _, n := range nodes {
+		if e.net.Crashed(n.Addr()) {
+			continue
+		}
+		if _, err := n.Member().View(); err != nil {
+			continue
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+// spawnReplica starts one fresh replica at runtime, seeded on a live group
+// member and mirroring the group's current style and checkpoint frequency.
+// It returns the new replica's address once its join has been proposed.
+func (e *env) spawnReplica() (string, error) {
+	live := e.liveNodes()
+	if len(live) == 0 {
+		return "", fmt.Errorf("experiment: no live replica to seed a join from")
+	}
+	ref := live[0]
+	style := ref.Engine().Style()
+	ckpt := ref.Engine().CheckpointEvery()
+
+	e.mu.Lock()
+	idx := e.nextReplica
+	e.nextReplica++
+	e.mu.Unlock()
+
+	addr := fmt.Sprintf("replica-%c", 'a'+idx)
+	ep, err := e.net.Endpoint(addr)
+	if err != nil {
+		return "", err
+	}
+	app := workload.NewBenchApp(e.opts.StateBytes, e.opts.ExecCost, e.opts.ReplyBytes)
+	node := replicator.StartReplica(ep, replicator.ReplicaConfig{
+		Seeds: []string{ref.Addr()},
+		Replication: replication.Config{
+			Style:           style,
+			CheckpointEvery: ckpt,
+			Model:           e.opts.Model,
+			State:           app,
+			Adapt:           e.adapt,
+			Observer:        e.observer,
+		},
+	})
+	node.Register("Bench", app)
+	e.mu.Lock()
+	e.nodes = append(e.nodes, node)
+	e.apps = append(e.apps, app)
+	e.mu.Unlock()
+	return addr, nil
+}
+
 func (e *env) close() {
+	e.mu.Lock()
+	nodes := append([]*replicator.ReplicaNode(nil), e.nodes...)
+	e.mu.Unlock()
 	if e.opts.TraceSink != nil {
-		snaps := make([]trace.Snapshot, 0, len(e.nodes)+len(e.clients))
-		for _, n := range e.nodes {
+		snaps := make([]trace.Snapshot, 0, len(nodes)+len(e.clients))
+		for _, n := range nodes {
 			snaps = append(snaps, n.TraceSnapshot())
 		}
 		for _, c := range e.clients {
@@ -188,7 +264,7 @@ func (e *env) close() {
 	for _, c := range e.clients {
 		c.Stop()
 	}
-	for _, n := range e.nodes {
+	for _, n := range nodes {
 		n.Stop()
 	}
 	e.net.Close()

@@ -9,6 +9,7 @@ import (
 	"versadep/internal/knobs"
 	"versadep/internal/monitor"
 	"versadep/internal/orb"
+	"versadep/internal/policy"
 	"versadep/internal/replication"
 	"versadep/internal/replicator"
 	"versadep/internal/simnet"
@@ -221,15 +222,10 @@ func DefaultFig6Thresholds() Fig6Thresholds { return Fig6Thresholds{High: 500, L
 // RunFig6 runs the adaptive-replication experiment and its static-passive
 // control.
 func RunFig6(o Options, profile []Fig6ThinkPhase, th Fig6Thresholds) (*Fig6Result, error) {
-	policy := func(in replication.AdaptInput) (replication.Style, bool) {
-		if in.Rate > th.High && in.Style != replication.Active {
-			return replication.Active, true
-		}
-		if in.Rate > 0 && in.Rate < th.Low && in.Style != replication.WarmPassive {
-			return replication.WarmPassive, true
-		}
-		return 0, false
-	}
+	// The switching rule is the policy layer's RateStyle — the same code
+	// a live controller runs — adapted to the engine's in-stream hook so
+	// every replica evaluates it at identical stream positions.
+	adapt := policy.RateStyle{High: th.High, Low: th.Low}.AdaptPolicy()
 
 	res := &Fig6Result{}
 	var mu sync.Mutex
@@ -253,7 +249,7 @@ func RunFig6(o Options, profile []Fig6ThinkPhase, th Fig6Thresholds) (*Fig6Resul
 		}
 	}
 
-	adaptive, err := runFig6Profile(o, profile, policy, observer)
+	adaptive, err := runFig6Profile(o, profile, adapt, observer)
 	if err != nil {
 		return nil, err
 	}

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"versadep/internal/monitor"
+	"versadep/internal/policy"
 	"versadep/internal/replication"
 	"versadep/internal/replicator"
 	"versadep/internal/trace"
@@ -80,30 +81,51 @@ func (s *Scenario) RunClosedLoop(onReply func(i int, vt vtime.Time, rtt vtime.Du
 
 // Switch requests a runtime replication-style switch.
 func (s *Scenario) Switch(target replication.Style, vt vtime.Time) {
-	for _, n := range s.e.nodes {
-		if !s.e.net.Crashed(n.Addr()) {
-			n.Engine().RequestSwitch(target, vt)
-			return
-		}
+	if live := s.e.liveNodes(); len(live) > 0 {
+		live[0].Engine().RequestSwitch(target, vt)
 	}
 }
 
 // CrashPrimary kills the rank-0 replica.
 func (s *Scenario) CrashPrimary() {
-	for _, n := range s.e.nodes {
-		if !s.e.net.Crashed(n.Addr()) {
-			s.e.net.Crash(n.Addr())
-			return
-		}
+	if live := s.e.liveNodes(); len(live) > 0 {
+		s.e.net.Crash(live[0].Addr())
 	}
+}
+
+// Grow spawns one fresh replica at runtime. It joins the group over the
+// totally ordered channel, receives a state transfer, and goes live; the
+// new replica's address is returned.
+func (s *Scenario) Grow() (string, error) {
+	return s.e.spawnReplica()
+}
+
+// Retire gracefully removes addr from the group ("" retires the
+// highest-ranked member, never the primary). The directive rides the
+// agreed stream; the named replica takes a parting checkpoint if it is a
+// passive primary and then leaves.
+func (s *Scenario) Retire(addr string, vt vtime.Time) error {
+	live := s.e.liveNodes()
+	if len(live) == 0 {
+		return fmt.Errorf("experiment: no live replica to issue retirement from")
+	}
+	if addr == "" {
+		view, err := live[0].Member().View()
+		if err != nil {
+			return err
+		}
+		if len(view.Members) <= 1 {
+			return fmt.Errorf("experiment: cannot retire the last replica")
+		}
+		addr = view.Members[len(view.Members)-1]
+	}
+	return live[0].Retire(addr, vt)
 }
 
 // Style reports the current style at the first live replica.
 func (s *Scenario) Style() replication.Style {
-	for _, n := range s.e.nodes {
-		if !s.e.net.Crashed(n.Addr()) {
-			return n.Engine().Style()
-		}
+	if live := s.e.liveNodes(); len(live) > 0 {
+		return live[0].Engine().Style()
 	}
 	return 0
 }
@@ -111,25 +133,94 @@ func (s *Scenario) Style() replication.Style {
 // Members lists live replica addresses.
 func (s *Scenario) Members() []string {
 	var out []string
-	for _, n := range s.e.nodes {
-		if !s.e.net.Crashed(n.Addr()) {
-			out = append(out, n.Addr())
-		}
+	for _, n := range s.e.liveNodes() {
+		out = append(out, n.Addr())
 	}
 	return out
 }
 
 // TraceSnapshot merges every node's and client's trace counters into one
 // system-wide snapshot (per-subsystem counters sum across processes).
+// Retired and crashed replicas contribute their final snapshots.
 func (s *Scenario) TraceSnapshot() trace.Snapshot {
-	snaps := make([]trace.Snapshot, 0, len(s.e.nodes)+len(s.e.clients))
-	for _, n := range s.e.nodes {
+	s.e.mu.Lock()
+	nodes := append([]*replicator.ReplicaNode(nil), s.e.nodes...)
+	s.e.mu.Unlock()
+	snaps := make([]trace.Snapshot, 0, len(nodes)+len(s.e.clients))
+	for _, n := range nodes {
 		snaps = append(snaps, n.TraceSnapshot())
 	}
 	for _, c := range s.e.clients {
 		snaps = append(snaps, c.TraceSnapshot())
 	}
 	return trace.Merge(snaps...)
+}
+
+// Sensors returns a policy.Signals sampler over the scenario: it reads
+// the first live replica each call, so the sample survives crashes,
+// retirements and growth of individual nodes.
+func (s *Scenario) Sensors() func() policy.Signals {
+	return func() policy.Signals {
+		live := s.e.liveNodes()
+		if len(live) == 0 {
+			return policy.Signals{}
+		}
+		return live[0].Sensors(nil)()
+	}
+}
+
+// Actuator returns a policy.Actuator driving this scenario: switches and
+// checkpoint retuning on the first live replica, Grow through
+// spawnReplica, Shrink through graceful retirement. Like Sensors, every
+// call re-resolves the live group, so the actuator outlives any single
+// replica.
+func (s *Scenario) Actuator() policy.Actuator {
+	return scenarioActuator{s}
+}
+
+type scenarioActuator struct{ s *Scenario }
+
+func (a scenarioActuator) elastic() (*replicator.ElasticActuator, error) {
+	live := a.s.e.liveNodes()
+	if len(live) == 0 {
+		return nil, fmt.Errorf("experiment: no live replica to actuate on")
+	}
+	return &replicator.ElasticActuator{
+		Node:  live[0],
+		Spawn: func([]string) error { _, err := a.s.e.spawnReplica(); return err },
+	}, nil
+}
+
+func (a scenarioActuator) SwitchStyle(target replication.Style) error {
+	el, err := a.elastic()
+	if err != nil {
+		return err
+	}
+	return el.SwitchStyle(target)
+}
+
+func (a scenarioActuator) SetCheckpointEvery(every int) error {
+	el, err := a.elastic()
+	if err != nil {
+		return err
+	}
+	return el.SetCheckpointEvery(every)
+}
+
+func (a scenarioActuator) Grow() error {
+	el, err := a.elastic()
+	if err != nil {
+		return err
+	}
+	return el.Grow()
+}
+
+func (a scenarioActuator) Shrink() error {
+	el, err := a.elastic()
+	if err != nil {
+		return err
+	}
+	return el.Shrink()
 }
 
 // BandwidthMBs reports network usage over the run's virtual makespan.

@@ -79,6 +79,9 @@ type frame struct {
 	Ledger  vtime.Ledger
 	Payload []byte
 	Aux     []byte
+	// Left annotates a kView frame with the old-view members that
+	// departed gracefully (announced leaves), as opposed to crashing.
+	Left []string
 }
 
 // encodeFrame serializes f with the codec package.
@@ -106,6 +109,10 @@ func encodeFrame(f *frame) []byte {
 	}
 	e.PutBytes(f.Payload)
 	e.PutBytes(f.Aux)
+	e.PutUint32(uint32(len(f.Left)))
+	for _, m := range f.Left {
+		e.PutString(m)
+	}
 	return e.Bytes()
 }
 
@@ -191,6 +198,19 @@ func decodeFrame(b []byte) (*frame, error) {
 	}
 	if f.Aux, err = d.BytesCopy(); err != nil {
 		return nil, err
+	}
+	if n, err = d.Uint32(); err != nil {
+		return nil, err
+	}
+	if uint64(n) > uint64(d.Remaining()) {
+		return nil, codec.ErrTooLarge
+	}
+	for i := uint32(0); i < n; i++ {
+		m, err := d.String()
+		if err != nil {
+			return nil, err
+		}
+		f.Left = append(f.Left, m)
 	}
 	return &f, nil
 }

@@ -155,6 +155,12 @@ type Event struct {
 	// the member has no state from before this view and needs a state
 	// transfer from its peers.
 	Joined bool
+	// Left lists members that departed gracefully (announced leaves) in
+	// this view change (view events). Departures not listed here were
+	// crashes — the distinction the adaptation layer's fault-rate signal
+	// is built on. The annotation travels on the sequenced view frame, so
+	// every member classifies identically.
+	Left []string
 }
 
 // Config parameterizes a Member.

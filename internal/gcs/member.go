@@ -106,6 +106,10 @@ type Member struct {
 	proposal     *proposal
 	joinReqs     map[string]bool
 	leaveReqs    map[string]bool
+	// leaving marks that this member announced its own graceful
+	// departure: exclusion from the next view is expected and must not
+	// trigger the false-suspicion rejoin path.
+	leaving bool
 
 	now func() time.Time
 }
@@ -122,6 +126,7 @@ type proposal struct {
 	viewID   uint64
 	members  []string
 	joiners  map[string]bool
+	left     []string // old-view members departing gracefully
 	ackFrom  map[string]*ackInfo
 	need     map[string]bool
 	deadline time.Time
@@ -272,16 +277,34 @@ func (m *Member) SendDirect(to string, payload []byte, sentAt vtime.Time, led vt
 	return m.do(func() { m.sendDirectLocked(to, payload, sentAt, led) })
 }
 
-// Leave announces a graceful departure and stops the daemon.
+// Leave announces a graceful departure and stops the daemon. The
+// announcement goes to every member (so it survives a coordinator crash),
+// and Leave waits — bounded — until a view excluding this member installs:
+// the departure is then recorded in the view's Left annotation rather than
+// detected as a crash. A leaving coordinator proposes its own exclusion.
 func (m *Member) Leave() {
 	_ = m.do(func() {
+		m.leaving = true
+		if !m.installed {
+			return
+		}
 		f := &frame{Kind: kLeave, Origin: m.Addr()}
-		if m.installed {
-			m.sendControl(m.view.Coordinator(), f)
+		for _, mm := range m.view.Members {
+			if mm == m.Addr() {
+				m.handleFrame(transport.Message{From: mm, To: mm}, f)
+			} else {
+				m.sendControl(mm, f)
+			}
 		}
 	})
-	// Give the leave a moment to reach the coordinator, then stop.
-	time.Sleep(2 * m.cfg.HBInterval)
+	deadline := m.now().Add(6 * m.cfg.HBInterval)
+	for m.now().Before(deadline) {
+		var in bool
+		if err := m.do(func() { in = m.installed && m.view.Contains(m.Addr()) }); err != nil || !in {
+			break
+		}
+		time.Sleep(m.cfg.HBInterval / 4)
+	}
 	m.Stop()
 }
 

@@ -187,7 +187,11 @@ func (m *Member) handleFrame(msg transport.Message, f *frame) {
 	case kJoin:
 		m.handleJoin(f)
 	case kLeave:
-		if m.installed && m.isCoordinatorDuty() {
+		// Every member records the announced departure (not just the duty
+		// holder): if the coordinator crashes before acting on it, the
+		// next proposer still excludes the leaver gracefully, and the
+		// leaver itself may hold duty (it proposes its own exclusion).
+		if m.installed {
 			m.leaveReqs[f.Origin] = true
 			m.maybePropose()
 		}

@@ -31,8 +31,8 @@ func (m *Member) maybePropose() {
 		m.leaveReqs = make(map[string]bool)
 		return
 	}
-	if !contains(newMembers, m.Addr()) {
-		return // we are leaving; someone else will handle it
+	if !contains(newMembers, m.Addr()) && !m.leaveReqs[m.Addr()] {
+		return // we are being excluded (suspected); someone else proposes
 	}
 	viewID := m.view.ID
 	if m.highProposed > viewID {
@@ -50,10 +50,20 @@ func (m *Member) maybePropose() {
 			joiners[mm] = true
 		}
 	}
+	// Record which departures are announced leaves (they get the new view
+	// as a courtesy, and the annotation lets survivors tell a graceful
+	// departure from a crash).
+	var left []string
+	for _, mm := range m.view.Members {
+		if m.leaveReqs[mm] && !contains(newMembers, mm) {
+			left = append(left, mm)
+		}
+	}
 	p := &proposal{
 		viewID:    viewID,
 		members:   newMembers,
 		joiners:   joiners,
+		left:      left,
 		ackFrom:   make(map[string]*ackInfo),
 		need:      need,
 		deadline:  m.now().Add(m.cfg.PrepareTimeout),
@@ -334,6 +344,7 @@ func (m *Member) redistributeAndInstall() {
 		Origin:  m.Addr(),
 		Members: p.members,
 		Aux:     encodeSeenData(finalSeen),
+		Left:    p.left,
 	}
 
 	// Send missing frames + the view to each survivor; joiners get only
@@ -360,6 +371,17 @@ func (m *Member) redistributeAndInstall() {
 				}
 			}
 		}
+		if mm == m.Addr() {
+			m.handleFrame(transport.Message{From: mm, To: mm}, viewFrame)
+		} else {
+			m.sendControl(mm, viewFrame)
+		}
+	}
+	// Graceful leavers get the view too: observing their own exclusion
+	// lets Leave return promptly instead of waiting out its deadline.
+	// (A leaving proposer delivers the flushed prefix to itself this way
+	// — virtual synchrony holds for its last events.)
+	for _, mm := range p.left {
 		if mm == m.Addr() {
 			m.handleFrame(transport.Message{From: mm, To: mm}, viewFrame)
 		} else {
@@ -476,6 +498,13 @@ func (m *Member) installJoinedView(f *frame, joined bool) {
 	}
 
 	if !m.view.Contains(m.Addr()) {
+		if m.leaving {
+			// Graceful departure confirmed: stop participating; Leave's
+			// poll observes the exclusion and stops the daemon.
+			m.installed = false
+			m.joining = false
+			return
+		}
 		// We were excluded (false suspicion): rejoin as a fresh
 		// incarnation, keeping pending submissions.
 		m.installed = false
@@ -493,7 +522,8 @@ func (m *Member) installJoinedView(f *frame, joined bool) {
 	// deliveries belong to the new view in the event order.
 	m.cViews.Inc()
 	m.tr.Event(trace.SubGCS, "view_change", m.deliverVT, int64(m.view.ID))
-	m.emit(Event{Kind: EventView, View: m.view.clone(), Seq: f.Seq, VTime: m.deliverVT, Joined: joined})
+	m.emit(Event{Kind: EventView, View: m.view.clone(), Seq: f.Seq, VTime: m.deliverVT,
+		Joined: joined, Left: append([]string(nil), f.Left...)})
 
 	if m.view.Coordinator() == m.Addr() {
 		m.nextSeq = f.Seq + 1

@@ -11,6 +11,7 @@
 package introspect
 
 import (
+	"encoding/json"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -22,8 +23,27 @@ import (
 // method, or a closure merging several recorders for a whole-process view.
 type Source func() trace.Snapshot
 
+// Option extends the introspection mux with extra endpoints.
+type Option func(*http.ServeMux)
+
+// WithJSON serves fn's result as JSON on path, snapshotted per request.
+// Layers above trace (e.g. the policy controller's decision log) publish
+// through this without introspect importing them.
+func WithJSON(path string, fn func() any) Option {
+	return func(mux *http.ServeMux) {
+		mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(fn()); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
+	}
+}
+
 // NewMux builds the introspection handler tree around src.
-func NewMux(src Source) *http.ServeMux {
+func NewMux(src Source, opts ...Option) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -41,6 +61,9 @@ func NewMux(src Source) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for _, opt := range opts {
+		opt(mux)
+	}
 	return mux
 }
 
@@ -53,12 +76,12 @@ type Server struct {
 // Start listens on addr (e.g. "127.0.0.1:6060"; a ":0" port picks a free
 // one, readable back via Addr) and serves the introspection mux in a
 // background goroutine.
-func Start(addr string, src Source) (*Server, error) {
+func Start(addr string, src Source, opts ...Option) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Handler: NewMux(src)}
+	srv := &http.Server{Handler: NewMux(src, opts...)}
 	go func() { _ = srv.Serve(ln) }()
 	return &Server{ln: ln, srv: srv}, nil
 }

@@ -140,3 +140,31 @@ func TestStartServesAndCloses(t *testing.T) {
 		t.Errorf("server still reachable after Close")
 	}
 }
+
+func TestWithJSONEndpoint(t *testing.T) {
+	r := testRecorder()
+	type status struct {
+		Steps     int      `json:"steps"`
+		Decisions []string `json:"decisions"`
+	}
+	cur := status{Steps: 3, Decisions: []string{"grow 2→3"}}
+	srv := httptest.NewServer(NewMux(r.Snapshot,
+		WithJSON("/policy", func() any { return cur })))
+	defer srv.Close()
+
+	code, body := get(t, srv, "/policy")
+	if code != http.StatusOK {
+		t.Fatalf("/policy status = %d", code)
+	}
+	var got status
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatalf("unmarshal /policy: %v\n%s", err, body)
+	}
+	if got.Steps != 3 || len(got.Decisions) != 1 || got.Decisions[0] != "grow 2→3" {
+		t.Fatalf("round-trip = %+v", got)
+	}
+	// The extra endpoint must not displace the built-ins.
+	if code, _ := get(t, srv, "/metrics"); code != http.StatusOK {
+		t.Fatalf("/metrics status = %d after WithJSON", code)
+	}
+}

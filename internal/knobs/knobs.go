@@ -220,6 +220,12 @@ type AvailabilityKnob struct {
 // for the most demanding targets; warm passive suffices otherwise (its
 // failover gap is folded into a small availability penalty).
 func (k AvailabilityKnob) Plan(target float64) (LowLevel, error) {
+	if target <= 0 {
+		return LowLevel{}, fmt.Errorf("knobs: availability target must be in (0,1), got %v (zero or negative availability is meaningless)", target)
+	}
+	if target >= 1 {
+		return LowLevel{}, fmt.Errorf("knobs: availability target must be in (0,1), got %v (perfect availability is unattainable with fallible replicas)", target)
+	}
 	if k.ReplicaAvailability <= 0 || k.ReplicaAvailability >= 1 {
 		return LowLevel{}, errors.New("knobs: replica availability must be in (0,1)")
 	}

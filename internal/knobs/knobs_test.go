@@ -3,6 +3,7 @@ package knobs
 import (
 	"errors"
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -234,5 +235,48 @@ func TestAvailabilityKnob(t *testing.T) {
 	bad := AvailabilityKnob{ReplicaAvailability: 1.5}
 	if _, err := bad.Plan(0.9); err == nil {
 		t.Fatal("accepted invalid replica availability")
+	}
+}
+
+func TestAvailabilityKnobTargetValidation(t *testing.T) {
+	k := AvailabilityKnob{ReplicaAvailability: 0.99, MaxReplicas: 5}
+	cases := []struct {
+		name   string
+		target float64
+		ok     bool
+	}{
+		{"negative", -0.5, false},
+		{"zero", 0, false},
+		{"just above zero", 1e-9, true},
+		{"interior", 0.995, true},
+		{"just below one", 1 - 1e-12, false}, // unreachable, but a valid target
+		{"one", 1, false},
+		{"above one", 1.01, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := k.Plan(tc.target)
+			if tc.ok && err != nil {
+				t.Fatalf("Plan(%v) = %v, want success", tc.target, err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatalf("Plan(%v) succeeded, want error", tc.target)
+			}
+			// Out-of-domain targets must be rejected as invalid, not
+			// reported as merely infeasible.
+			if tc.target <= 0 || tc.target >= 1 {
+				if errors.Is(err, ErrNoFeasibleConfig) {
+					t.Fatalf("Plan(%v) = %v, want a domain error, not infeasibility", tc.target, err)
+				}
+				if !strings.Contains(err.Error(), "must be in (0,1)") {
+					t.Fatalf("Plan(%v) error %q does not describe the valid domain", tc.target, err)
+				}
+			}
+		})
+	}
+	// 1-1e-12 is inside the domain but unreachable with 5 replicas at
+	// 0.99 each: infeasible, not invalid.
+	if _, err := k.Plan(1 - 1e-12); !errors.Is(err, ErrNoFeasibleConfig) {
+		t.Fatalf("near-one target: err = %v, want ErrNoFeasibleConfig", err)
 	}
 }

@@ -1,0 +1,319 @@
+// Package policy closes the paper's adaptation loop (§2, §5): it watches
+// the live signals the stack already produces — request arrival rate,
+// latency quantiles, observed fault rate, bandwidth — and turns the three
+// low-level dependability knobs at runtime: the replication style (via the
+// Figure 5 switch protocol), the checkpointing frequency, and the number
+// of replicas (via runtime replica elasticity: totally ordered joins and
+// graceful retirements).
+//
+// A Policy is one adaptation rule mapping Signals to a Decision; a
+// Controller stacks policies in priority order, merges their decisions
+// per knob (highest priority wins, fault-tolerance floors always beat
+// resource pressure), damps flapping with a per-knob cooldown, and
+// actuates through an Actuator. Every actuation lands in a bounded
+// decision log served at the /policy introspection endpoint.
+package policy
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"versadep/internal/knobs"
+	"versadep/internal/replication"
+)
+
+// Signals is one sample of the system state a policy decides over.
+type Signals struct {
+	// Rate is the request arrival rate in requests per (virtual) second,
+	// from the engine's deterministic sliding window.
+	Rate float64 `json:"rate"`
+	// P99Micros is the tail of the per-request replica turnaround in µs,
+	// from the replication.exec_us histogram.
+	P99Micros int64 `json:"p99_us"`
+	// Style is the current replication style.
+	Style replication.Style `json:"style"`
+	// Replicas is the current group size.
+	Replicas int `json:"replicas"`
+	// CheckpointEvery is the current checkpointing frequency.
+	CheckpointEvery int `json:"checkpoint_every"`
+	// BandwidthMBs is the measured network usage in MB/s (0 = unmetered).
+	BandwidthMBs float64 `json:"bandwidth_mbs"`
+	// ReplicaAvailability is the observed per-replica availability
+	// estimate in (0,1], derived from the crash rate seen in view changes
+	// (0 = no observation yet).
+	ReplicaAvailability float64 `json:"replica_availability"`
+}
+
+// Decision is one policy's opinion on the low-level knobs. Zero fields
+// mean "no opinion": the controller falls through to the next policy.
+type Decision struct {
+	// Style is the replication style to adopt (0 = leave unchanged).
+	Style replication.Style
+	// Replicas is the absolute replica-count target (0 = no opinion).
+	Replicas int
+	// MinReplicas is a fault-tolerance floor this policy insists on even
+	// when it requests no change itself: lower-priority policies cannot
+	// shed the group below the highest floor in the stack.
+	MinReplicas int
+	// CheckpointEvery is the checkpoint interval to adopt (0 = unchanged).
+	CheckpointEvery int
+	// Reason explains the decision for the decision log.
+	Reason string
+}
+
+// Policy is one adaptation rule. Decide must be a pure function of its
+// input: the controller calls it on every step, and the engine-side
+// variant (RateStyle.AdaptPolicy) is evaluated at identical stream
+// positions on every replica.
+type Policy interface {
+	Name() string
+	Decide(sig Signals) Decision
+}
+
+// ---------------------------------------------------------------- RateStyle
+
+// RateStyle is the paper's Figure 6 policy generalized: switch to active
+// replication when the arrival rate exceeds High, fall back to warm
+// passive below Low. The High/Low gap is explicit hysteresis; the
+// controller's cooldown adds time-domain damping on top, so load
+// oscillating exactly around a threshold produces at most one switch per
+// cooldown window.
+type RateStyle struct {
+	// High and Low are the switching thresholds in requests per second.
+	High, Low float64
+}
+
+// Name implements Policy.
+func (RateStyle) Name() string { return "rate-style" }
+
+// Decide implements Policy. The rate > 0 guard keeps the warm-up window
+// (before the rate meter has two samples) from forcing a passive switch.
+func (p RateStyle) Decide(sig Signals) Decision {
+	if sig.Rate > p.High && sig.Style != replication.Active {
+		return Decision{
+			Style:  replication.Active,
+			Reason: fmt.Sprintf("rate %.0f/s above %.0f: active replication", sig.Rate, p.High),
+		}
+	}
+	if sig.Rate > 0 && sig.Rate < p.Low && sig.Style != replication.WarmPassive {
+		return Decision{
+			Style:  replication.WarmPassive,
+			Reason: fmt.Sprintf("rate %.0f/s below %.0f: warm passive suffices", sig.Rate, p.Low),
+		}
+	}
+	return Decision{}
+}
+
+// AdaptPolicy adapts the rule to the replication engine's in-stream
+// adaptation hook, where every replica evaluates it at the same agreed
+// stream position (the paper's deterministic distributed adaptation).
+// RunFig6 and a live controller share this exact code path.
+func (p RateStyle) AdaptPolicy() replication.AdaptPolicy {
+	return func(in replication.AdaptInput) (replication.Style, bool) {
+		d := p.Decide(Signals{Rate: in.Rate, Style: in.Style, Replicas: in.Replicas})
+		return d.Style, d.Style != 0
+	}
+}
+
+// ------------------------------------------------------- AvailabilityTarget
+
+// AvailabilityTarget drives the replica-count knob from the Table 1
+// availability knob evaluated against the *observed* per-replica fault
+// rate: as crashes push the availability estimate down, Plan demands more
+// replicas and the controller grows the group by live state transfer;
+// when the estimate recovers, the group shrinks back by graceful
+// retirement. It always publishes the planned count as a MinReplicas
+// floor, so resource-pressure policies below it can never shed the group
+// out of its availability target.
+type AvailabilityTarget struct {
+	// Target is the system availability target in (0,1), e.g. 0.995.
+	Target float64
+	// Knob bounds the plan (MaxReplicas); its ReplicaAvailability field
+	// is overwritten by the observed signal on every decision.
+	Knob knobs.AvailabilityKnob
+}
+
+// Name implements Policy.
+func (AvailabilityTarget) Name() string { return "availability-target" }
+
+// Decide implements Policy.
+func (p AvailabilityTarget) Decide(sig Signals) Decision {
+	a := sig.ReplicaAvailability
+	if a <= 0 {
+		return Decision{} // no fault observations yet
+	}
+	if a >= 1 {
+		a = 0.999999
+	}
+	k := p.Knob
+	k.ReplicaAvailability = a
+	maxR := k.MaxReplicas
+	if maxR <= 0 {
+		maxR = 5
+	}
+	ll, err := k.Plan(p.Target)
+	if err != nil {
+		// Unreachable target: hold the resource bound and say why (the
+		// §4.3 "policy can no longer be honored" situation).
+		d := Decision{
+			MinReplicas: maxR,
+			Reason: fmt.Sprintf("target %.4f unreachable at per-replica availability %.4f: holding %d replicas",
+				p.Target, a, maxR),
+		}
+		if sig.Replicas != maxR {
+			d.Replicas = maxR
+		}
+		return d
+	}
+	d := Decision{MinReplicas: ll.Replicas}
+	if ll.Replicas != sig.Replicas {
+		d.Replicas = ll.Replicas
+		d.Reason = fmt.Sprintf("per-replica availability %.4f needs %d replicas for target %.4f (have %d)",
+			a, ll.Replicas, p.Target, sig.Replicas)
+	}
+	return d
+}
+
+// ------------------------------------------------------------- ResourceCap
+
+// ResourceCap sheds cost when bandwidth exceeds a budget: first it
+// stretches the checkpoint interval (halving checkpoint traffic per
+// doubling), then it retires one replica per step down to MinReplicas.
+// Stack it below AvailabilityTarget: the controller clamps its shedding
+// to the availability floor, so fault tolerance always wins over
+// resource pressure.
+type ResourceCap struct {
+	// BandwidthMBs is the budget in MB/s (0 disables the policy).
+	BandwidthMBs float64
+	// MinReplicas is the shed floor (default 1).
+	MinReplicas int
+	// MaxCheckpointEvery bounds the interval stretching (default 50).
+	MaxCheckpointEvery int
+}
+
+// Name implements Policy.
+func (ResourceCap) Name() string { return "resource-cap" }
+
+// Decide implements Policy.
+func (p ResourceCap) Decide(sig Signals) Decision {
+	if p.BandwidthMBs <= 0 || sig.BandwidthMBs <= p.BandwidthMBs {
+		return Decision{}
+	}
+	if sig.Style.IsPassive() && sig.CheckpointEvery > 0 {
+		maxE := p.MaxCheckpointEvery
+		if maxE <= 0 {
+			maxE = 50
+		}
+		if sig.CheckpointEvery < maxE {
+			every := sig.CheckpointEvery * 2
+			if every > maxE {
+				every = maxE
+			}
+			return Decision{
+				CheckpointEvery: every,
+				Reason: fmt.Sprintf("bandwidth %.2f MB/s over %.2f budget: stretching checkpoint interval to %d",
+					sig.BandwidthMBs, p.BandwidthMBs, every),
+			}
+		}
+	}
+	minR := p.MinReplicas
+	if minR < 1 {
+		minR = 1
+	}
+	if sig.Replicas > minR {
+		return Decision{
+			Replicas: sig.Replicas - 1,
+			Reason: fmt.Sprintf("bandwidth %.2f MB/s over %.2f budget: shedding one replica",
+				sig.BandwidthMBs, p.BandwidthMBs),
+		}
+	}
+	return Decision{}
+}
+
+// ---------------------------------------------------------------- ParseSpec
+
+// ParseSpec builds a policy stack from a comma-separated spec in priority
+// order (first entry = highest priority). Entries:
+//
+//	avail=TARGET[:MAXREPLICAS]  AvailabilityTarget (e.g. avail=0.995:5)
+//	rate=HIGH:LOW               RateStyle          (e.g. rate=500:250)
+//	bwcap=MBS[:MINREPLICAS]     ResourceCap        (e.g. bwcap=3:2)
+//
+// Put avail before bwcap so the availability floor caps the shedding.
+func ParseSpec(spec string) ([]Policy, error) {
+	var out []Policy
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, args, ok := strings.Cut(entry, "=")
+		if !ok {
+			return nil, fmt.Errorf("policy: bad spec entry %q (want name=args)", entry)
+		}
+		parts := strings.Split(args, ":")
+		num := func(i int) (float64, error) {
+			v, err := strconv.ParseFloat(parts[i], 64)
+			if err != nil {
+				return 0, fmt.Errorf("policy: bad number %q in %q", parts[i], entry)
+			}
+			return v, nil
+		}
+		switch name {
+		case "rate":
+			if len(parts) != 2 {
+				return nil, fmt.Errorf("policy: rate wants HIGH:LOW in %q", entry)
+			}
+			high, err := num(0)
+			if err != nil {
+				return nil, err
+			}
+			low, err := num(1)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, RateStyle{High: high, Low: low})
+		case "avail":
+			if len(parts) < 1 || len(parts) > 2 {
+				return nil, fmt.Errorf("policy: avail wants TARGET[:MAXREPLICAS] in %q", entry)
+			}
+			target, err := num(0)
+			if err != nil {
+				return nil, err
+			}
+			p := AvailabilityTarget{Target: target}
+			if len(parts) == 2 {
+				maxR, err := strconv.Atoi(parts[1])
+				if err != nil || maxR < 1 {
+					return nil, fmt.Errorf("policy: bad max replicas %q in %q", parts[1], entry)
+				}
+				p.Knob.MaxReplicas = maxR
+			}
+			out = append(out, p)
+		case "bwcap":
+			if len(parts) < 1 || len(parts) > 2 {
+				return nil, fmt.Errorf("policy: bwcap wants MBS[:MINREPLICAS] in %q", entry)
+			}
+			budget, err := num(0)
+			if err != nil {
+				return nil, err
+			}
+			p := ResourceCap{BandwidthMBs: budget}
+			if len(parts) == 2 {
+				minR, err := strconv.Atoi(parts[1])
+				if err != nil || minR < 1 {
+					return nil, fmt.Errorf("policy: bad min replicas %q in %q", parts[1], entry)
+				}
+				p.MinReplicas = minR
+			}
+			out = append(out, p)
+		default:
+			return nil, fmt.Errorf("policy: unknown policy %q (want rate, avail, or bwcap)", name)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("policy: empty spec")
+	}
+	return out, nil
+}

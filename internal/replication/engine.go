@@ -1,6 +1,8 @@
 package replication
 
 import (
+	"errors"
+	"fmt"
 	"sync"
 
 	"versadep/internal/gcs"
@@ -60,6 +62,16 @@ const (
 	// NoticeRequest fires after every request delivery (executed or
 	// logged).
 	NoticeRequest
+	// NoticeRetire fires when a graceful-retirement directive is
+	// delivered on the agreed stream; Peer names the retiring replica.
+	// Every replica sees it — the named replica's host reacts by leaving
+	// the group after the parting checkpoint (if any) is out.
+	NoticeRetire
+	// NoticeView fires on every installed view change. Members is the
+	// new group size; Crashed counts members that disappeared without a
+	// graceful leave or retirement — the adaptation layer's observed
+	// fault-rate signal.
+	NoticeView
 )
 
 // Notice is an engine observation delivered to the configured observer.
@@ -71,6 +83,13 @@ type Notice struct {
 	Delay    vtime.Duration
 	Style    Style
 	Executed bool
+	// Peer is the retiring replica (NoticeRetire).
+	Peer string
+	// Members is the group size after a view change (NoticeView).
+	Members int
+	// Crashed counts non-graceful departures in a view change
+	// (NoticeView).
+	Crashed int
 }
 
 // Stats summarizes a replica's activity.
@@ -81,11 +100,16 @@ type Stats struct {
 	Checkpoints      int
 	Switches         int
 	Failovers        int
-	LastSwitchDelay  vtime.Duration
-	Rate             float64
-	Style            Style
-	Role             Role
-	Synced           bool
+	// Retirements counts graceful-retirement directives observed;
+	// Handoffs counts primary promotions after a graceful departure
+	// (unlike Failovers these are not faults).
+	Retirements     int
+	Handoffs        int
+	LastSwitchDelay vtime.Duration
+	Rate            float64
+	Style           Style
+	Role            Role
+	Synced          bool
 }
 
 // Config parameterizes an Engine.
@@ -178,6 +202,8 @@ type Engine struct {
 	cCacheEvicts    *trace.Counter
 	cOrphansPruned  *trace.Counter
 	cPendingCkpts   *trace.Counter // high-water in-flight checkpoint halves
+	cCrashes        *trace.Counter // non-graceful departures observed
+	cRetirements    *trace.Counter
 	spans           *span.Recorder
 	hExec           *trace.Histogram // per-request replica turnaround, µs
 
@@ -194,6 +220,11 @@ type Engine struct {
 
 	replyCache map[string]map[uint64][]byte
 	highExec   map[string]uint64
+
+	// retiring marks members whose graceful retirement was delivered on
+	// the agreed stream but whose departure view has not installed yet;
+	// their removal must not count as a crash.
+	retiring map[string]bool
 
 	ckptCounter     int
 	ckptSerial      uint64
@@ -228,6 +259,7 @@ func NewEngine(member *gcs.Member, adapter *orb.Adapter, cfg Config) *Engine {
 		synced:      true, // bootstrap members are synced; joiners reset below
 		replyCache:  make(map[string]map[uint64][]byte),
 		highExec:    make(map[string]uint64),
+		retiring:    make(map[string]bool),
 		sysState:    make(map[string]map[string]float64),
 		pendMarkers: make(map[ckptKey]*pendingMarker),
 		pendStates:  make(map[ckptKey]*Msg),
@@ -250,6 +282,8 @@ func (e *Engine) initTrace(r *trace.Recorder) {
 	e.cCacheEvicts = r.Counter(trace.SubReplication, "reply_cache_evictions")
 	e.cOrphansPruned = r.Counter(trace.SubReplication, "ckpt_orphans_pruned")
 	e.cPendingCkpts = r.Counter(trace.SubReplication, "pending_checkpoints")
+	e.cCrashes = r.Counter(trace.SubReplication, "crashes_observed")
+	e.cRetirements = r.Counter(trace.SubReplication, "retirements")
 	e.spans = r.Spans()
 	e.hExec = r.Histogram(trace.SubReplication, "exec_us")
 }
@@ -428,6 +462,33 @@ func (e *Engine) CheckpointEvery() int {
 	return e.finalSnap().ckptEvery
 }
 
+// RequestRetire turns the replica-count knob downward at runtime: a
+// retirement directive for addr travels the agreed stream, so every
+// replica (the victim included) observes it at the same position relative
+// to client requests. A retiring primary takes a parting checkpoint
+// before leaving, making the handoff cheap; the victim's host then leaves
+// the group gracefully, and the resulting view change is not counted as a
+// crash. Retiring the last replica is refused.
+func (e *Engine) RequestRetire(addr string, now vtime.Time) error {
+	var err error
+	ok := e.do(func() {
+		if !e.view.Contains(addr) {
+			err = fmt.Errorf("replication: %s is not a group member", addr)
+			return
+		}
+		if len(e.view.Members) <= 1 {
+			err = errors.New("replication: cannot retire the last replica")
+			return
+		}
+		msg := Encode(&Msg{Kind: KindRetire, Target: addr})
+		err = e.member.Multicast(msg, gcs.Agreed, now, vtime.Ledger{})
+	})
+	if !ok {
+		return errors.New("replication: engine stopped")
+	}
+	return err
+}
+
 // PublishMetrics multicasts this replica's monitored values into the
 // replicated system-state object.
 func (e *Engine) PublishMetrics(metrics map[string]float64, now vtime.Time) {
@@ -487,6 +548,8 @@ func (e *Engine) handleEvent(ev gcs.Event) {
 			if msg.CheckpointEvery > 0 {
 				e.cfg.CheckpointEvery = int(msg.CheckpointEvery)
 			}
+		case KindRetire:
+			e.handleRetire(ev, msg)
 		}
 	}
 }
@@ -529,6 +592,33 @@ func (e *Engine) handleView(ev gcs.Event) {
 	e.view = ev.View
 	e.prevView = prev
 
+	// Classify departures before touching the retiring set: members that
+	// announced a graceful leave (carried on the view frame) or whose
+	// retirement directive was delivered on the agreed stream are
+	// voluntary; everything else is a crash, the adaptation layer's
+	// fault-rate signal.
+	graceful := make(map[string]bool, len(ev.Left))
+	for _, mm := range ev.Left {
+		graceful[mm] = true
+	}
+	crashed := 0
+	for _, mm := range prev.Members {
+		if mm == e.Addr() || ev.View.Contains(mm) {
+			continue
+		}
+		if e.retiring[mm] {
+			graceful[mm] = true
+		}
+		if !graceful[mm] {
+			crashed++
+		}
+		delete(e.retiring, mm)
+	}
+	if crashed > 0 {
+		e.cCrashes.Add(int64(crashed))
+		e.tr.Event(trace.SubReplication, "crash_observed", ev.VTime, int64(crashed))
+	}
+
 	// A checkpoint sender that crashed between its marker and its state
 	// transfer leaves an orphaned half behind; the view change that
 	// removes the sender is the point where it can never complete.
@@ -554,11 +644,18 @@ func (e *Engine) handleView(ev gcs.Event) {
 
 	leader := e.view.Coordinator() == e.Addr()
 
-	// Primary failover: the passive primary crashed and we are next.
+	// Primary departure and we are next: a crash triggers the paper's
+	// failover (cold restart, replay, counted as a fault); a graceful
+	// retirement or leave is a handoff — the parting checkpoint covers
+	// all but the tail of the log, and no fault is recorded.
 	prevPrimary := prev.Coordinator()
 	if leader && e.synced && e.style.IsPassive() &&
 		prevPrimary != "" && prevPrimary != e.Addr() && !e.view.Contains(prevPrimary) {
-		e.failover(ev.VTime)
+		if graceful[prevPrimary] {
+			e.handoff(ev.VTime)
+		} else {
+			e.failover(ev.VTime)
+		}
 	}
 
 	// Mid-switch primary crash (Figure 5, case 1 crash branch): the
@@ -589,6 +686,51 @@ func (e *Engine) handleView(ev gcs.Event) {
 			}
 		}
 	}
+
+	e.notify(Notice{Kind: NoticeView, VT: ev.VTime, Style: e.style,
+		Members: len(e.view.Members), Crashed: crashed})
+}
+
+// handleRetire processes a graceful-retirement directive delivered on the
+// agreed stream. Every replica marks the target so the upcoming view
+// change is classified as voluntary, and a retiring primary takes a
+// parting checkpoint covering exactly the requests ordered before the
+// directive — its successor hands off instead of failing over.
+func (e *Engine) handleRetire(ev gcs.Event, msg *Msg) {
+	target := msg.Target
+	if target == "" || e.retiring[target] || !e.view.Contains(target) {
+		return
+	}
+	live := 0
+	for _, mm := range e.view.Members {
+		if !e.retiring[mm] {
+			live++
+		}
+	}
+	if live <= 1 {
+		return // never retire the last working replica
+	}
+	e.retiring[target] = true
+	e.stats.Retirements++
+	e.cRetirements.Inc()
+	e.tr.Event(trace.SubReplication, "retire", ev.VTime, 0)
+	if target == e.Addr() && e.synced && e.style.IsPassive() && e.role() == RolePrimary {
+		e.takeCheckpoint(ev.VTime, false, 0)
+	}
+	e.notify(Notice{Kind: NoticeRetire, VT: ev.VTime, Style: e.style,
+		Peer: target, Members: len(e.view.Members)})
+}
+
+// handoff promotes this replica to primary after the previous primary
+// departed gracefully: replay whatever its parting checkpoint did not
+// cover. Unlike failover there is no fault — Failovers is untouched and
+// no cold-start is paid (a graceful departure never strands a cold
+// backup as the only survivor of a checkpointed state it lacks).
+func (e *Engine) handoff(vt vtime.Time) {
+	replayed := int64(len(e.log))
+	vt = e.replayLog(vt)
+	e.stats.Handoffs++
+	e.tr.Event(trace.SubReplication, "handoff", vt, replayed)
 }
 
 // failover promotes this replica to primary: cold replicas pay the

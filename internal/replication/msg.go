@@ -36,6 +36,13 @@ const (
 	// point-to-point is how Eternal/MEAD transfer state, and it makes
 	// checkpoint bandwidth proportional to the number of backups.
 	KindState
+	// KindRetire directs the replica named in Target to leave the group
+	// gracefully (the replica-count knob turned downward at runtime).
+	// Riding the agreed stream gives every replica — the victim included
+	// — the same position of the retirement relative to client requests,
+	// so a retiring primary can hand off with a parting checkpoint that
+	// covers exactly the requests ordered before it.
+	KindRetire
 )
 
 // Msg is the replication layer's envelope.
@@ -68,6 +75,8 @@ type Msg struct {
 	// CheckpointEvery is the new checkpointing frequency (KindConfig;
 	// zero leaves it unchanged).
 	CheckpointEvery uint32
+	// Target is the replica being retired (KindRetire).
+	Target string
 }
 
 // CacheEntry is one client's cached reply, transferred in checkpoints so a
@@ -110,6 +119,7 @@ func Encode(m *Msg) []byte {
 		e.PutString(k)
 		e.PutFloat64(m.Metrics[k])
 	}
+	e.PutString(m.Target)
 	return e.Bytes()
 }
 
@@ -188,6 +198,9 @@ func Decode(b []byte) (*Msg, error) {
 			}
 			m.Metrics[k] = v
 		}
+	}
+	if m.Target, err = d.String(); err != nil {
+		return nil, errBadMsg
 	}
 	return &m, nil
 }

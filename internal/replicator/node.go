@@ -18,12 +18,14 @@ package replicator
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"versadep/internal/codec"
 	"versadep/internal/gcs"
 	"versadep/internal/interceptor"
 	"versadep/internal/orb"
+	"versadep/internal/policy"
 	"versadep/internal/replication"
 	"versadep/internal/trace"
 	"versadep/internal/trace/span"
@@ -58,6 +60,15 @@ type ReplicaNode struct {
 	adapter *orb.Adapter
 	engine  *replication.Engine
 	trace   *trace.Recorder
+
+	// faults accumulates crash departures observed in view changes (the
+	// adaptation layer's fault-rate sensor).
+	faults *policy.FaultMeter
+	// ready closes once the node's fields are fully assembled; the
+	// observer's self-retire goroutine waits on it before calling Leave.
+	ready chan struct{}
+	// retire ensures a retirement directive triggers at most one Leave.
+	retire sync.Once
 }
 
 // ReplicaConfig bundles the per-replica configuration.
@@ -99,6 +110,37 @@ func StartReplica(ep transport.MultiEndpoint, cfg ReplicaConfig) *ReplicaNode {
 	gcfg.SpanKey = requestSpanKey
 	cfg.Replication.Trace = rec
 
+	// The node observes its own engine before the caller's observer:
+	// crashes seen in view changes feed the fault meter, and a
+	// retirement directive naming this replica makes the host leave the
+	// group gracefully. The observer runs on the engine goroutine and
+	// must not block, so Leave runs in a goroutine gated on full node
+	// assembly.
+	n := &ReplicaNode{demux: d, trace: rec,
+		faults: policy.NewFaultMeter(0, 0), ready: make(chan struct{})}
+	self := ep.Addr()
+	inner := cfg.Replication.Observer
+	cfg.Replication.Observer = func(nt replication.Notice) {
+		switch nt.Kind {
+		case replication.NoticeView:
+			if nt.Crashed > 0 {
+				n.faults.ObserveCrashes(nt.Crashed)
+			}
+		case replication.NoticeRetire:
+			if nt.Peer == self {
+				n.retire.Do(func() {
+					go func() {
+						<-n.ready
+						n.Leave()
+					}()
+				})
+			}
+		}
+		if inner != nil {
+			inner(nt)
+		}
+	}
+
 	member := gcs.Open(d.Conn(transport.ProtoGCS), d.Conn(transport.ProtoGroupClient), gcfg)
 	d.Handle(transport.ProtoGCS, member.HandleTransport)
 	// Replicas also receive point-to-point traffic addressed to them as
@@ -109,8 +151,10 @@ func StartReplica(ep transport.MultiEndpoint, cfg ReplicaConfig) *ReplicaNode {
 	adapter.SetSpans(rec.Spans())
 	engine := replication.NewEngine(member, adapter, cfg.Replication)
 
+	n.member, n.adapter, n.engine = member, adapter, engine
+	close(n.ready)
 	d.Start()
-	return &ReplicaNode{demux: d, member: member, adapter: adapter, engine: engine, trace: rec}
+	return n
 }
 
 // Addr returns the node's transport address.

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Live-cluster smoke test: three vdnode replicas over real TCP, one
+# client driving the replicated counter, and a kill -9 of the primary
+# mid-run. Passes iff the client completes its full request cycle
+# despite the crash — the end-to-end failover guarantee, exercised on
+# the real transport rather than the simulated fabric.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+REQUESTS=${REQUESTS:-400}
+WORK=$(mktemp -d)
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]}"; do kill -9 "$pid" 2>/dev/null || true; done
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+go build -o "$WORK/vdnode" ./cmd/vdnode
+
+PEERS="ra=127.0.0.1:7001,rb=127.0.0.1:7002,rc=127.0.0.1:7003"
+
+"$WORK/vdnode" -role replica -name ra -bind 127.0.0.1:7001 -peers "$PEERS" \
+  >"$WORK/ra.log" 2>&1 &
+RA=$!
+PIDS+=("$RA")
+sleep 1
+"$WORK/vdnode" -role replica -name rb -bind 127.0.0.1:7002 -seeds ra -peers "$PEERS" \
+  >"$WORK/rb.log" 2>&1 &
+PIDS+=("$!")
+sleep 1
+"$WORK/vdnode" -role replica -name rc -bind 127.0.0.1:7003 -seeds ra -peers "$PEERS" \
+  >"$WORK/rc.log" 2>&1 &
+PIDS+=("$!")
+sleep 1
+
+"$WORK/vdnode" -role client -name c1 -bind 127.0.0.1:7010 -members ra,rb,rc \
+  -peers "$PEERS" -requests "$REQUESTS" >"$WORK/client.log" 2>&1 &
+CLIENT=$!
+PIDS+=("$CLIENT")
+
+# Kill the primary once the client is demonstrably mid-run.
+for _ in $(seq 1 100); do
+  grep -q "request 50 ->" "$WORK/client.log" && break
+  sleep 0.1
+done
+kill -9 "$RA"
+echo "smoke: killed primary ra (pid $RA) mid-run"
+
+fail() {
+  echo "--- client.log ---"
+  cat "$WORK/client.log"
+  for r in ra rb rc; do
+    echo "--- $r.log (tail) ---"
+    tail -20 "$WORK/$r.log"
+  done
+  exit 1
+}
+
+if ! wait "$CLIENT"; then
+  echo "smoke: client exited with an error after the primary crash"
+  fail
+fi
+if ! grep -q "done: $REQUESTS requests" "$WORK/client.log"; then
+  echo "smoke: client never reported completing all $REQUESTS requests"
+  fail
+fi
+echo "smoke: client completed all $REQUESTS requests across a primary crash"
+grep -h "failover complete" "$WORK"/r?.log || true
