@@ -12,9 +12,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"versadep/internal/experiment"
@@ -24,21 +26,36 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run: all, fig3, fig4, fig6, fig7, table2, fig9, switchdelay")
+		exp      = flag.String("exp", "all", "experiment to run: all, fig3, fig4, fig6, fig7, table2, fig9, switchdelay, statetransfer")
 		requests = flag.Int("requests", 0, "requests per client cycle (default harness setting; paper uses 10000)")
 		seed     = flag.Uint64("seed", 0, "deterministic seed (default harness setting)")
 		replicas = flag.Int("replicas", 3, "max replicas for the fig7 sweep")
 		clients  = flag.Int("clients", 5, "max clients for the fig7 sweep")
 		traceDmp = flag.Bool("trace", false, "dump each scenario's merged trace registry (counters, histograms, spans) as JSON after it runs")
+		benchDir = flag.String("bench-json", "", "directory to write BENCH_*.json perf-trajectory points into (fig3 and statetransfer)")
 	)
 	flag.Parse()
-	if err := run(*exp, *requests, *seed, *replicas, *clients, *traceDmp); err != nil {
+	if err := run(*exp, *requests, *seed, *replicas, *clients, *traceDmp, *benchDir); err != nil {
 		fmt.Fprintln(os.Stderr, "vdbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, requests int, seed uint64, maxReplicas, maxClients int, traceDump bool) error {
+// writeBenchJSON drops one perf-trajectory point as indented JSON.
+func writeBenchJSON(dir, name string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+func run(exp string, requests int, seed uint64, maxReplicas, maxClients int, traceDump bool, benchDir string) error {
 	o := experiment.DefaultOptions()
 	if requests > 0 {
 		o.Requests = requests
@@ -62,6 +79,15 @@ func run(exp string, requests int, seed uint64, maxReplicas, maxClients int, tra
 			return err
 		}
 		fmt.Println(experiment.RenderFig3(res))
+		if benchDir != "" {
+			point := struct {
+				MeanRTTMicros float64 `json:"mean_rtt_us"`
+				Requests      int     `json:"requests"`
+			}{res.MeanRTT.Seconds() * 1e6, res.Requests}
+			if err := writeBenchJSON(benchDir, "BENCH_orb_rtt.json", point); err != nil {
+				return err
+			}
+		}
 	}
 	if want("fig4") {
 		ran = true
@@ -110,6 +136,21 @@ func run(exp string, requests int, seed uint64, maxReplicas, maxClients int, tra
 			return err
 		}
 		fmt.Println(experiment.RenderSwitchDelay(res))
+	}
+	if want("statetransfer") {
+		ran = true
+		so := o
+		so.StateBytes = 64 * 1024
+		res, err := experiment.RunStateTransfer(so)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiment.RenderStateTransfer(res))
+		if benchDir != "" {
+			if err := writeBenchJSON(benchDir, "BENCH_state_transfer.json", res); err != nil {
+				return err
+			}
+		}
 	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q", exp)

@@ -49,6 +49,16 @@ type policyOpts struct {
 	spawnCmd string
 }
 
+// replicaOpts bundles the state-transfer and transport tuning flags.
+type replicaOpts struct {
+	stateBytes    int
+	transferChunk int
+	transferWin   int
+	dialAttempts  int
+	dialBackoff   time.Duration
+	suspectAfter  time.Duration
+}
+
 func main() {
 	var (
 		role     = flag.String("role", "replica", "replica or client")
@@ -61,14 +71,22 @@ func main() {
 		requests = flag.Int("requests", 100, "requests to issue (client role)")
 		traceDmp = flag.Bool("trace", false, "dump the trace-counter registry as JSON on exit")
 		intro    = flag.String("introspect", "", "host:port for the live introspection endpoint (/metrics, /trace, /policy, /debug/pprof)")
-		polSpec  = flag.String("policy", "", "autonomic policy stack in priority order, e.g. \"avail=0.995:5,rate=500:250,bwcap=3:2\" (replica role)")
+		polSpec  = flag.String("policy", "", "autonomic policy stack in priority order, e.g. \"avail=0.995:5,rate=500:250,bwcap=3:2,linkretry=0.99\" (replica role)")
 		cooldown = flag.Duration("cooldown", 5*time.Second, "minimum time between actuations of the same knob (flap damping)")
 		adaptEv  = flag.Duration("adapt-every", time.Second, "controller sampling period")
 		spawnCmd = flag.String("spawn-cmd", "", "shell command launching one fresh replica (gets VDNODE_SEEDS in its environment); enables the grow knob")
+		stateB   = flag.Int("state-bytes", 4096, "demo application state size (replica role; sets the joiner transfer volume)")
+		xferChnk = flag.Int("transfer-chunk", 0, "joiner state-transfer chunk size in bytes (0 = engine default)")
+		xferWin  = flag.Int("transfer-window", 0, "unacked chunks in flight per joiner transfer (0 = engine default)")
+		dialAtt  = flag.Int("dial-attempts", 0, "transport dial attempts per send before dropping (0 = transport default)")
+		dialBack = flag.Duration("dial-backoff", 0, "base backoff between dial attempts (0 = transport default)")
+		suspect  = flag.Duration("suspect-after", 0, "failure-detector silence threshold (0 = group default; raise when large transfers may delay heartbeats)")
 	)
 	flag.Parse()
 	pol := policyOpts{spec: *polSpec, cooldown: *cooldown, every: *adaptEv, spawnCmd: *spawnCmd}
-	if err := run(*role, *name, *bind, *peersStr, *seedsStr, *members, *style, *requests, *traceDmp, *intro, pol); err != nil {
+	rep := replicaOpts{stateBytes: *stateB, transferChunk: *xferChnk, transferWin: *xferWin,
+		dialAttempts: *dialAtt, dialBackoff: *dialBack, suspectAfter: *suspect}
+	if err := run(*role, *name, *bind, *peersStr, *seedsStr, *members, *style, *requests, *traceDmp, *intro, pol, rep); err != nil {
 		fmt.Fprintln(os.Stderr, "vdnode:", err)
 		os.Exit(1)
 	}
@@ -103,7 +121,7 @@ func splitList(s string) []string {
 	return out
 }
 
-func run(role, name, bind, peersStr, seedsStr, membersStr, styleName string, requests int, traceDump bool, intro string, pol policyOpts) error {
+func run(role, name, bind, peersStr, seedsStr, membersStr, styleName string, requests int, traceDump bool, intro string, pol policyOpts, rep replicaOpts) error {
 	if name == "" || bind == "" {
 		return fmt.Errorf("-name and -bind are required")
 	}
@@ -111,14 +129,25 @@ func run(role, name, bind, peersStr, seedsStr, membersStr, styleName string, req
 	if err != nil {
 		return err
 	}
-	ep, err := tcptransport.Listen(name, bind, peers)
+	var tOpts []tcptransport.Option
+	if rep.dialAttempts > 0 || rep.dialBackoff > 0 {
+		rc := tcptransport.DefaultRetry()
+		if rep.dialAttempts > 0 {
+			rc.DialAttempts = rep.dialAttempts
+		}
+		if rep.dialBackoff > 0 {
+			rc.BackoffBase = rep.dialBackoff
+		}
+		tOpts = append(tOpts, tcptransport.WithRetry(rc))
+	}
+	ep, err := tcptransport.Listen(name, bind, peers, tOpts...)
 	if err != nil {
 		return err
 	}
 
 	switch role {
 	case "replica":
-		return runReplica(ep, splitList(seedsStr), styleName, traceDump, intro, pol)
+		return runReplica(ep, splitList(seedsStr), styleName, traceDump, intro, pol, rep)
 	case "client":
 		return runClient(ep, splitList(membersStr), requests, traceDump, intro)
 	default:
@@ -146,7 +175,7 @@ func serveIntrospect(addr string, src introspect.Source, opts ...introspect.Opti
 // replica but is gated to actuate only while this node is the synced
 // primary, so the group has exactly one closed loop at any time (and it
 // migrates with the primary role on failover).
-func startController(node *replicator.ReplicaNode, pol policyOpts) (*policy.Controller, func(), error) {
+func startController(node *replicator.ReplicaNode, ep *tcptransport.Endpoint, pol policyOpts) (*policy.Controller, func(), error) {
 	if pol.spec == "" {
 		return nil, func() {}, nil
 	}
@@ -154,7 +183,18 @@ func startController(node *replicator.ReplicaNode, pol policyOpts) (*policy.Cont
 	if err != nil {
 		return nil, nil, err
 	}
-	act := &replicator.ElasticActuator{Node: node}
+	act := &replicator.ElasticActuator{
+		Node: node,
+		// The dial-retry knob lands on the live transport: the LinkRetry
+		// policy hardens reconnect budgets when availability sags.
+		TuneRetry: func(attempts, backoffMs int) error {
+			rc := ep.Retry()
+			rc.DialAttempts = attempts
+			rc.BackoffBase = time.Duration(backoffMs) * time.Millisecond
+			ep.SetRetry(rc)
+			return nil
+		},
+	}
 	if pol.spawnCmd != "" {
 		cmd := pol.spawnCmd
 		act.Spawn = func(seeds []string) error {
@@ -184,7 +224,7 @@ func startController(node *replicator.ReplicaNode, pol policyOpts) (*policy.Cont
 	return ctrl, stop, nil
 }
 
-func runReplica(ep *tcptransport.Endpoint, seeds []string, styleName string, traceDump bool, intro string, pol policyOpts) error {
+func runReplica(ep *tcptransport.Endpoint, seeds []string, styleName string, traceDump bool, intro string, pol policyOpts, rep replicaOpts) error {
 	style, err := replication.ParseStyle(styleName)
 	if err != nil {
 		return err
@@ -192,14 +232,23 @@ func runReplica(ep *tcptransport.Endpoint, seeds []string, styleName string, tra
 	// Live mode keeps the virtual accounting inert but the protocol
 	// identical; group timing must be looser than simulation defaults to
 	// tolerate real-network scheduling.
-	app := workload.NewBenchApp(4096, 0, 64)
+	app := workload.NewBenchApp(rep.stateBytes, 0, 64)
+	var gcsCfg *gcs.Config
+	if rep.suspectAfter > 0 {
+		g := gcs.DefaultConfig()
+		g.SuspectAfter = rep.suspectAfter
+		gcsCfg = &g
+	}
 	node := replicator.StartReplica(ep, replicator.ReplicaConfig{
 		Seeds: seeds,
+		GCS:   gcsCfg,
 		Replication: replication.Config{
-			Style:           style,
-			CheckpointEvery: 5,
-			Model:           vtime.DefaultCostModel(),
-			State:           app,
+			Style:              style,
+			CheckpointEvery:    5,
+			Model:              vtime.DefaultCostModel(),
+			State:              app,
+			TransferChunkBytes: rep.transferChunk,
+			TransferWindow:     rep.transferWin,
 			Observer: func(n replication.Notice) {
 				switch n.Kind {
 				case replication.NoticeSwitchDone:
@@ -212,12 +261,26 @@ func runReplica(ep *tcptransport.Endpoint, seeds []string, styleName string, tra
 					fmt.Printf("[%s] retirement directive for %s\n", n.Addr, n.Peer)
 				case replication.NoticeView:
 					fmt.Printf("[%s] view change: %d members (%d crashed)\n", n.Addr, n.Members, n.Crashed)
+				case replication.NoticeTransfer:
+					// Per-chunk progress notices are dropped; only the
+					// transfer milestones land in the log.
+					switch {
+					case n.Resumed:
+						fmt.Printf("[%s] transfer resumed with %s at chunk %d/%d (serial %d)\n",
+							n.Addr, n.Peer, n.Chunk, n.Chunks, n.Serial)
+					case n.Chunk == n.Chunks:
+						fmt.Printf("[%s] transfer complete with %s: %d chunks (serial %d)\n",
+							n.Addr, n.Peer, n.Chunks, n.Serial)
+					case n.Chunk == 0:
+						fmt.Printf("[%s] transfer started with %s: %d chunks (serial %d)\n",
+							n.Addr, n.Peer, n.Chunks, n.Serial)
+					}
 				}
 			},
 		},
 	})
 	node.Register("Bench", app)
-	ctrl, stopCtrl, err := startController(node, pol)
+	ctrl, stopCtrl, err := startController(node, ep, pol)
 	if err != nil {
 		node.Leave()
 		return err
@@ -265,8 +328,8 @@ func runReplica(ep *tcptransport.Endpoint, seeds []string, styleName string, tra
 			if err != nil {
 				continue
 			}
-			fmt.Printf("[%s] view=%v style=%s role=%s executed=%d logged=%d ckpts=%d\n",
-				ep.Addr(), v.Members, st.Style, st.Role,
+			fmt.Printf("[%s] view=%v style=%s role=%s synced=%v executed=%d logged=%d ckpts=%d\n",
+				ep.Addr(), v.Members, st.Style, st.Role, st.Synced,
 				st.RequestsExecuted, st.RequestsLogged, st.Checkpoints)
 		}
 	}

@@ -47,6 +47,9 @@ func main() {
 		retireAt  = flag.Int("retire-at", 0, "request index at which to gracefully retire the highest-ranked replica")
 		adapt     = flag.String("adapt", "", "comma-separated policy specs driving an autonomic controller, e.g. rate=2000:500,avail=0.995:5,bwcap=3.0 (see internal/policy)")
 		cooldown  = flag.Duration("adapt-cooldown", 200*time.Millisecond, "per-knob cooldown between controller actuations")
+		stateB    = flag.Int("state-bytes", 0, "application state size in bytes (0 = harness default; sets the joiner transfer volume)")
+		xferChunk = flag.Int("transfer-chunk", 0, "joiner state-transfer chunk size in bytes (0 = engine default)")
+		xferRetry = flag.Duration("transfer-retry", 0, "transfer retry tick for stalled joiners (0 = engine default)")
 	)
 	flag.Parse()
 	cfg := runConfig{
@@ -56,6 +59,7 @@ func main() {
 		traceDump: *traceDump, spanDump: *spanDump,
 		growAt: *growAt, retireAt: *retireAt,
 		adapt: *adapt, cooldown: *cooldown,
+		stateBytes: *stateB, transferChunk: *xferChunk, transferRetry: *xferRetry,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "vdsim:", err)
@@ -75,6 +79,9 @@ type runConfig struct {
 	growAt, retireAt  int
 	adapt             string
 	cooldown          time.Duration
+	stateBytes        int
+	transferChunk     int
+	transferRetry     time.Duration
 }
 
 func run(cfg runConfig) error {
@@ -96,6 +103,11 @@ func run(cfg runConfig) error {
 	o.Requests = requests
 	o.Seed = seed
 	o.CheckpointEvery = ckpt
+	if cfg.stateBytes > 0 {
+		o.StateBytes = cfg.stateBytes
+	}
+	o.TransferChunkBytes = cfg.transferChunk
+	o.TransferRetryEvery = cfg.transferRetry
 
 	var mu sync.Mutex
 	var notices []replication.Notice

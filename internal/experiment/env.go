@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"versadep/internal/gcs"
 	"versadep/internal/interceptor"
 	"versadep/internal/replication"
 	"versadep/internal/replicator"
@@ -50,6 +51,25 @@ type Options struct {
 	// "<style>-r<replicas>-c<clients>". vdbench -trace wires this to a
 	// JSON dump per scenario.
 	TraceSink func(label string, snap trace.Snapshot)
+	// TransferChunkBytes overrides the joiner state-transfer chunk size
+	// (0 = engine default).
+	TransferChunkBytes int
+	// TransferRetryEvery overrides the transfer retry tick (0 = default).
+	TransferRetryEvery time.Duration
+	// SuspectAfter overrides the GCS failure-detector timeout (0 =
+	// default). Fault-injection runs raise it so scripted partitions
+	// exercise transfer resume instead of view exclusion.
+	SuspectAfter time.Duration
+}
+
+// gcsConfig returns the GCS override implied by the options (nil = stock).
+func (o Options) gcsConfig() *gcs.Config {
+	if o.SuspectAfter <= 0 {
+		return nil
+	}
+	g := gcs.DefaultConfig()
+	g.SuspectAfter = o.SuspectAfter
+	return &g
 }
 
 // DefaultOptions returns the calibrated configuration used throughout the
@@ -116,13 +136,16 @@ func buildEnv(o Options, style replication.Style, replicas, clients int,
 		app := workload.NewBenchApp(o.StateBytes, o.ExecCost, o.ReplyBytes)
 		node := replicator.StartReplica(ep, replicator.ReplicaConfig{
 			Seeds: seeds,
+			GCS:   o.gcsConfig(),
 			Replication: replication.Config{
-				Style:           style,
-				CheckpointEvery: o.CheckpointEvery,
-				Model:           model,
-				State:           app,
-				Adapt:           adapt,
-				Observer:        observer,
+				Style:              style,
+				CheckpointEvery:    o.CheckpointEvery,
+				Model:              model,
+				State:              app,
+				Adapt:              adapt,
+				Observer:           observer,
+				TransferChunkBytes: o.TransferChunkBytes,
+				TransferRetryEvery: o.TransferRetryEvery,
 			},
 		})
 		node.Register("Bench", app)
@@ -230,13 +253,16 @@ func (e *env) spawnReplica() (string, error) {
 	app := workload.NewBenchApp(e.opts.StateBytes, e.opts.ExecCost, e.opts.ReplyBytes)
 	node := replicator.StartReplica(ep, replicator.ReplicaConfig{
 		Seeds: []string{ref.Addr()},
+		GCS:   e.opts.gcsConfig(),
 		Replication: replication.Config{
-			Style:           style,
-			CheckpointEvery: ckpt,
-			Model:           e.opts.Model,
-			State:           app,
-			Adapt:           e.adapt,
-			Observer:        e.observer,
+			Style:              style,
+			CheckpointEvery:    ckpt,
+			Model:              e.opts.Model,
+			State:              app,
+			Adapt:              e.adapt,
+			Observer:           e.observer,
+			TransferChunkBytes: e.opts.TransferChunkBytes,
+			TransferRetryEvery: e.opts.TransferRetryEvery,
 		},
 	})
 	node.Register("Bench", app)

@@ -46,6 +46,24 @@ func Heal() Action {
 	return func(n *simnet.Network) { n.HealPartitions() }
 }
 
+// HealAddr returns just addr to partition 0, leaving other partitions in
+// place — the targeted counterpart of Heal for scripts that reconnect one
+// node (a joiner mid-state-transfer) while a wider fault persists.
+func HealAddr(addr string) Action {
+	return func(n *simnet.Network) { n.HealAddr(addr) }
+}
+
+// Burst sets the loss probability on a link to p and schedules its return
+// to zero after dur of real time — a scripted transient loss burst ("*"
+// wildcards allowed, as in Drop). The restore fires even if the schedule
+// that applied the burst has already finished.
+func Burst(from, to string, p float64, dur time.Duration) Action {
+	return func(n *simnet.Network) {
+		n.SetDropProb(from, to, p)
+		time.AfterFunc(dur, func() { n.SetDropProb(from, to, 0) })
+	}
+}
+
 // Step is a timed action.
 type Step struct {
 	// After is the real-time delay from schedule start (liveness

@@ -171,3 +171,97 @@ func TestPartitionAndHealActions(t *testing.T) {
 		t.Fatal("heal action had no effect")
 	}
 }
+
+func TestHealAddrIsTargeted(t *testing.T) {
+	net := simnet.New()
+	defer net.Close()
+	epA, _ := net.Endpoint("a")
+	epB, _ := net.Endpoint("b")
+	epC, _ := net.Endpoint("c")
+	_ = epC
+
+	// Isolate both b and c, then heal only b: a→b flows again while a→c
+	// stays dead.
+	Partition("b", 2)(net)
+	Partition("c", 3)(net)
+	HealAddr("b")(net)
+
+	if err := epA.Send("b", []byte("to-b"), 0); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-epB.Recv():
+		if string(m.Payload) != "to-b" {
+			t.Fatalf("payload %q", m.Payload)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("HealAddr did not reconnect b")
+	}
+
+	dropped := net.Stats().MessagesDropped
+	if err := epA.Send("c", []byte("to-c"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := net.Stats().MessagesDropped; got != dropped+1 {
+		t.Fatalf("c should still be partitioned (dropped %d -> %d)", dropped, got)
+	}
+}
+
+func TestBurstSetsAndRestoresLoss(t *testing.T) {
+	net := simnet.New()
+	defer net.Close()
+	epA, _ := net.Endpoint("a")
+	epB, _ := net.Endpoint("b")
+
+	Burst("a", "b", 1.0, 150*time.Millisecond)(net)
+	if err := epA.Send("b", []byte("lost"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if net.Stats().MessagesDropped != 1 {
+		t.Fatal("burst loss had no effect")
+	}
+
+	// After the burst window the link must carry traffic again.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := epA.Send("b", []byte("after"), 0); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case m := <-epB.Recv():
+			if string(m.Payload) == "after" {
+				return
+			}
+		case <-time.After(50 * time.Millisecond):
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("burst never healed")
+		}
+	}
+}
+
+func TestBurstInSchedule(t *testing.T) {
+	net := simnet.New()
+	defer net.Close()
+	epA, _ := net.Endpoint("a")
+	epB, _ := net.Endpoint("b")
+	_ = epB
+
+	inj := NewInjector(net)
+	var s Schedule
+	s.At(0, "burst a->b", Burst("a", "b", 1.0, 100*time.Millisecond))
+	select {
+	case <-inj.Run(&s):
+	case <-time.After(2 * time.Second):
+		t.Fatal("schedule did not complete")
+	}
+	if got := inj.Applied(); len(got) != 1 || got[0] != "burst a->b" {
+		t.Fatalf("applied = %v", got)
+	}
+	if err := epA.Send("b", []byte("x"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if net.Stats().MessagesDropped != 1 {
+		t.Fatal("scheduled burst had no effect")
+	}
+}

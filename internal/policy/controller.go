@@ -1,12 +1,17 @@
 package policy
 
 import (
+	"errors"
 	"strconv"
 	"sync"
 	"time"
 
 	"versadep/internal/replication"
 )
+
+// errActuatorNoRetry reports a dial-retry decision against an actuator
+// that does not implement RetryTuner.
+var errActuatorNoRetry = errors.New("policy: actuator does not support dial-retry tuning")
 
 // Actuator is the single surface through which a Controller turns the
 // three low-level knobs. Implementations exist for a live replica node
@@ -23,6 +28,16 @@ type Actuator interface {
 	Grow() error
 	// Shrink gracefully retires one replica (never the last).
 	Shrink() error
+}
+
+// RetryTuner is the optional fourth knob: an Actuator that also
+// implements it can retune the transport's dial-retry budget (attempts
+// and base backoff in ms). Kept separate from Actuator so existing
+// actuators and test fakes stay source-compatible; the controller
+// type-asserts at actuation time and logs an error entry when a LinkRetry
+// decision lands on an actuator without the surface.
+type RetryTuner interface {
+	TuneDialRetry(attempts, backoffMs int) error
 }
 
 // Entry is one decision-log record: an actuation (or failed actuation)
@@ -110,8 +125,9 @@ func (c *Controller) Step() []Entry {
 	floor := 0
 	var style replication.Style
 	var replicas, ckpt int
-	var styleBy, replBy, ckptBy Policy
-	var styleWhy, replWhy, ckptWhy string
+	var retryAttempts, retryBackoff int
+	var styleBy, replBy, ckptBy, retryBy Policy
+	var styleWhy, replWhy, ckptWhy, retryWhy string
 	for _, p := range c.cfg.Policies {
 		d := p.Decide(sig)
 		if d.MinReplicas > floor {
@@ -125,6 +141,10 @@ func (c *Controller) Step() []Entry {
 		}
 		if ckpt == 0 && d.CheckpointEvery != 0 && d.CheckpointEvery != sig.CheckpointEvery {
 			ckpt, ckptBy, ckptWhy = d.CheckpointEvery, p, d.Reason
+		}
+		if retryAttempts == 0 && d.DialAttempts != 0 &&
+			(d.DialAttempts != sig.DialAttempts || d.DialBackoffMs != sig.DialBackoffMs) {
+			retryAttempts, retryBackoff, retryBy, retryWhy = d.DialAttempts, d.DialBackoffMs, p, d.Reason
 		}
 	}
 	// Fault-tolerance floors beat resource pressure: a shed below the
@@ -167,6 +187,21 @@ func (c *Controller) Step() []Entry {
 			knob: "checkpoint", policy: ckptBy.Name(),
 			action: "set checkpoint interval " + strconv.Itoa(every), reason: ckptWhy,
 			apply: func() error { return c.cfg.Actuator.SetCheckpointEvery(every) },
+		})
+	}
+	if retryAttempts != 0 {
+		attempts, backoff := retryAttempts, retryBackoff
+		pending = append(pending, knobDecision{
+			knob: "dial-retry", policy: retryBy.Name(),
+			action: "set dial retry " + strconv.Itoa(attempts) + "x/" + strconv.Itoa(backoff) + "ms",
+			reason: retryWhy,
+			apply: func() error {
+				rt, ok := c.cfg.Actuator.(RetryTuner)
+				if !ok {
+					return errActuatorNoRetry
+				}
+				return rt.TuneDialRetry(attempts, backoff)
+			},
 		})
 	}
 

@@ -43,6 +43,11 @@ type Signals struct {
 	// estimate in (0,1], derived from the crash rate seen in view changes
 	// (0 = no observation yet).
 	ReplicaAvailability float64 `json:"replica_availability"`
+	// DialAttempts and DialBackoffMs are the transport's current dial
+	// retry settings (0 = unknown/unmetered, e.g. the simulated fabric,
+	// which has no dials).
+	DialAttempts  int `json:"dial_attempts,omitempty"`
+	DialBackoffMs int `json:"dial_backoff_ms,omitempty"`
 }
 
 // Decision is one policy's opinion on the low-level knobs. Zero fields
@@ -58,6 +63,11 @@ type Decision struct {
 	MinReplicas int
 	// CheckpointEvery is the checkpoint interval to adopt (0 = unchanged).
 	CheckpointEvery int
+	// DialAttempts and DialBackoffMs retune the transport's dial retry
+	// budget (0 = no opinion). Only actuators implementing RetryTuner can
+	// apply them; others log the decision as unactuatable.
+	DialAttempts  int
+	DialBackoffMs int
 	// Reason explains the decision for the decision log.
 	Reason string
 }
@@ -231,6 +241,76 @@ func (p ResourceCap) Decide(sig Signals) Decision {
 	return Decision{}
 }
 
+// --------------------------------------------------------------- LinkRetry
+
+// LinkRetry hardens the wire when the observed fault rate says the
+// network is misbehaving: below the availability threshold it widens the
+// transport's dial-retry budget (more attempts, longer backoff — riding
+// out peer restarts and partitions instead of dropping frames), and it
+// relaxes back to the calm profile once the availability estimate
+// recovers. This is Table 1's knob discipline applied to the transport
+// layer: the retry budget is a low-level dependability knob, and the
+// policy layer — not a hand-edited config — turns it at runtime.
+type LinkRetry struct {
+	// FaultyBelow is the per-replica availability threshold under which
+	// the faulty profile is adopted (e.g. 0.99).
+	FaultyBelow float64
+	// FaultyAttempts/FaultyBackoffMs is the hardened profile
+	// (defaults 12 attempts, 250ms base backoff).
+	FaultyAttempts  int
+	FaultyBackoffMs int
+	// CalmAttempts/CalmBackoffMs is the relaxed profile
+	// (defaults 4 attempts, 50ms base backoff).
+	CalmAttempts  int
+	CalmBackoffMs int
+}
+
+// Name implements Policy.
+func (LinkRetry) Name() string { return "link-retry" }
+
+// Decide implements Policy. With no fault observations yet there is no
+// opinion; with an unknown current setting (Signals.DialAttempts == 0,
+// e.g. before the first actuation) the chosen profile is asserted and the
+// controller's cooldown damps re-assertion.
+func (p LinkRetry) Decide(sig Signals) Decision {
+	a := sig.ReplicaAvailability
+	if a <= 0 {
+		return Decision{}
+	}
+	fa, fb := p.FaultyAttempts, p.FaultyBackoffMs
+	if fa <= 0 {
+		fa = 12
+	}
+	if fb <= 0 {
+		fb = 250
+	}
+	ca, cb := p.CalmAttempts, p.CalmBackoffMs
+	if ca <= 0 {
+		ca = 4
+	}
+	if cb <= 0 {
+		cb = 50
+	}
+	if a < p.FaultyBelow {
+		if sig.DialAttempts == fa && sig.DialBackoffMs == fb {
+			return Decision{}
+		}
+		return Decision{
+			DialAttempts: fa, DialBackoffMs: fb,
+			Reason: fmt.Sprintf("availability %.4f below %.4f: hardening dial retry to %d attempts / %dms backoff",
+				a, p.FaultyBelow, fa, fb),
+		}
+	}
+	if sig.DialAttempts == ca && sig.DialBackoffMs == cb {
+		return Decision{}
+	}
+	return Decision{
+		DialAttempts: ca, DialBackoffMs: cb,
+		Reason: fmt.Sprintf("availability %.4f at or above %.4f: relaxing dial retry to %d attempts / %dms backoff",
+			a, p.FaultyBelow, ca, cb),
+	}
+}
+
 // ---------------------------------------------------------------- ParseSpec
 
 // ParseSpec builds a policy stack from a comma-separated spec in priority
@@ -239,6 +319,8 @@ func (p ResourceCap) Decide(sig Signals) Decision {
 //	avail=TARGET[:MAXREPLICAS]  AvailabilityTarget (e.g. avail=0.995:5)
 //	rate=HIGH:LOW               RateStyle          (e.g. rate=500:250)
 //	bwcap=MBS[:MINREPLICAS]     ResourceCap        (e.g. bwcap=3:2)
+//	linkretry=THRESH[:FAULTY[:CALM]]
+//	                            LinkRetry          (e.g. linkretry=0.99:12:4)
 //
 // Put avail before bwcap so the availability floor caps the shedding.
 func ParseSpec(spec string) ([]Policy, error) {
@@ -308,8 +390,32 @@ func ParseSpec(spec string) ([]Policy, error) {
 				p.MinReplicas = minR
 			}
 			out = append(out, p)
+		case "linkretry":
+			if len(parts) < 1 || len(parts) > 3 {
+				return nil, fmt.Errorf("policy: linkretry wants THRESH[:FAULTY[:CALM]] in %q", entry)
+			}
+			thresh, err := num(0)
+			if err != nil {
+				return nil, err
+			}
+			p := LinkRetry{FaultyBelow: thresh}
+			if len(parts) >= 2 {
+				fa, err := strconv.Atoi(parts[1])
+				if err != nil || fa < 1 {
+					return nil, fmt.Errorf("policy: bad faulty attempts %q in %q", parts[1], entry)
+				}
+				p.FaultyAttempts = fa
+			}
+			if len(parts) == 3 {
+				ca, err := strconv.Atoi(parts[2])
+				if err != nil || ca < 1 {
+					return nil, fmt.Errorf("policy: bad calm attempts %q in %q", parts[2], entry)
+				}
+				p.CalmAttempts = ca
+			}
+			out = append(out, p)
 		default:
-			return nil, fmt.Errorf("policy: unknown policy %q (want rate, avail, or bwcap)", name)
+			return nil, fmt.Errorf("policy: unknown policy %q (want rate, avail, bwcap, or linkretry)", name)
 		}
 	}
 	if len(out) == 0 {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"versadep/internal/gcs"
 	"versadep/internal/orb"
@@ -72,6 +73,12 @@ const (
 	// graceful leave or retirement — the adaptation layer's observed
 	// fault-rate signal.
 	NoticeView
+	// NoticeTransfer fires as a chunked state transfer progresses: on the
+	// leader when a transfer starts, resumes, or its acked cursor
+	// advances; on the joiner as contiguous chunks arrive and when the
+	// assembled state is applied. Peer names the other end; Serial, Chunk
+	// and Chunks carry the cursor; Resumed marks cursor restorations.
+	NoticeTransfer
 )
 
 // Notice is an engine observation delivered to the configured observer.
@@ -90,6 +97,14 @@ type Notice struct {
 	// Crashed counts non-graceful departures in a view change
 	// (NoticeView).
 	Crashed int
+	// Serial is the transfer's bookmark serial (NoticeTransfer).
+	Serial uint64
+	// Chunk is the contiguous cursor position and Chunks the transfer's
+	// total chunk count (NoticeTransfer); Chunk == Chunks on completion.
+	Chunk, Chunks int
+	// Resumed marks a cursor restored from a resume token or stall rewind
+	// rather than a fresh start (NoticeTransfer).
+	Resumed bool
 }
 
 // Stats summarizes a replica's activity.
@@ -139,6 +154,20 @@ type Config struct {
 	// (checkpoints, switch latency, failover replay length, reply-cache
 	// activity). A nil recorder costs nothing on the hot paths.
 	Trace *trace.Recorder
+	// TransferChunkBytes is the chunk size joiner state transfers are
+	// split into (default 4096).
+	TransferChunkBytes int
+	// TransferWindow bounds unacked chunks in flight per joiner
+	// (default 4).
+	TransferWindow int
+	// TransferRetryEvery is the real-time cadence of the transfer retry
+	// driver: stalled leaders rewind their send window to the acked
+	// cursor, unsynced joiners re-offer their resume token (default
+	// 120ms).
+	TransferRetryEvery time.Duration
+	// TransferBookmarks is how many transfer checkpoints the leader
+	// retains for resumption (default 3; active transfers pin theirs).
+	TransferBookmarks int
 }
 
 type logEntry struct {
@@ -204,8 +233,22 @@ type Engine struct {
 	cPendingCkpts   *trace.Counter // high-water in-flight checkpoint halves
 	cCrashes        *trace.Counter // non-graceful departures observed
 	cRetirements    *trace.Counter
-	spans           *span.Recorder
-	hExec           *trace.Histogram // per-request replica turnaround, µs
+	// chunked-transfer counters: leader side…
+	cXferStarts       *trace.Counter
+	cXferResumes      *trace.Counter
+	cXferCompletes    *trace.Counter
+	cXferAborts       *trace.Counter
+	cXferChunksSent   *trace.Counter
+	cXferChunkResends *trace.Counter
+	cXferBytesSent    *trace.Counter
+	cXferBytesResumed *trace.Counter // bytes a resume skipped re-sending
+	cXferActive       *trace.Counter // gauge: transfers in flight
+	// …and joiner side.
+	cXferChunksRx *trace.Counter
+	cXferBytesRx  *trace.Counter
+	cXferApplied  *trace.Counter
+	spans         *span.Recorder
+	hExec         *trace.Histogram // per-request replica turnaround, µs
 
 	// owned by the run goroutine:
 	style     Style
@@ -234,6 +277,16 @@ type Engine struct {
 	sysState        map[string]map[string]float64
 	switchRequested Style
 	stats           Stats
+
+	// chunked joiner state transfer (transfer.go): retained bookmark
+	// checkpoints, per-joiner outgoing cursors, and this replica's own
+	// incoming reassembly state. lastVT tracks the engine's latest
+	// observed virtual time so the real-time retry driver can stamp its
+	// protocol sends.
+	bookmarks []*bookmark
+	xfers     map[string]*outXfer
+	rx        *inXfer
+	lastVT    vtime.Time
 }
 
 // NewEngine starts a replica engine on member. The adapter carries the
@@ -247,6 +300,18 @@ func NewEngine(member *gcs.Member, adapter *orb.Adapter, cfg Config) *Engine {
 	}
 	if cfg.Style == 0 {
 		cfg.Style = Active
+	}
+	if cfg.TransferChunkBytes <= 0 {
+		cfg.TransferChunkBytes = 4096
+	}
+	if cfg.TransferWindow <= 0 {
+		cfg.TransferWindow = 4
+	}
+	if cfg.TransferRetryEvery <= 0 {
+		cfg.TransferRetryEvery = 120 * time.Millisecond
+	}
+	if cfg.TransferBookmarks <= 0 {
+		cfg.TransferBookmarks = 3
 	}
 	e := &Engine{
 		member:      member,
@@ -263,6 +328,7 @@ func NewEngine(member *gcs.Member, adapter *orb.Adapter, cfg Config) *Engine {
 		sysState:    make(map[string]map[string]float64),
 		pendMarkers: make(map[ckptKey]*pendingMarker),
 		pendStates:  make(map[ckptKey]*Msg),
+		xfers:       make(map[string]*outXfer),
 	}
 	e.initTrace(cfg.Trace)
 	go e.run()
@@ -284,6 +350,18 @@ func (e *Engine) initTrace(r *trace.Recorder) {
 	e.cPendingCkpts = r.Counter(trace.SubReplication, "pending_checkpoints")
 	e.cCrashes = r.Counter(trace.SubReplication, "crashes_observed")
 	e.cRetirements = r.Counter(trace.SubReplication, "retirements")
+	e.cXferStarts = r.Counter(trace.SubReplication, "transfer_starts")
+	e.cXferResumes = r.Counter(trace.SubReplication, "transfer_resumes")
+	e.cXferCompletes = r.Counter(trace.SubReplication, "transfer_completes")
+	e.cXferAborts = r.Counter(trace.SubReplication, "transfer_aborts")
+	e.cXferChunksSent = r.Counter(trace.SubReplication, "transfer_chunks_sent")
+	e.cXferChunkResends = r.Counter(trace.SubReplication, "transfer_chunk_resends")
+	e.cXferBytesSent = r.Counter(trace.SubReplication, "transfer_bytes_sent")
+	e.cXferBytesResumed = r.Counter(trace.SubReplication, "transfer_bytes_resumed")
+	e.cXferActive = r.Counter(trace.SubReplication, "transfers_active")
+	e.cXferChunksRx = r.Counter(trace.SubReplication, "transfer_chunks_received")
+	e.cXferBytesRx = r.Counter(trace.SubReplication, "transfer_bytes_received")
+	e.cXferApplied = r.Counter(trace.SubReplication, "transfers_applied")
 	e.spans = r.Spans()
 	e.hExec = r.Histogram(trace.SubReplication, "exec_us")
 }
@@ -503,12 +581,20 @@ func (e *Engine) PublishMetrics(metrics map[string]float64, now vtime.Time) {
 func (e *Engine) run() {
 	defer close(e.done)
 	defer e.captureFinal()
+	defer e.stopTransfers()
+	// The transfer retry driver runs on real time, like the GCS liveness
+	// machinery: virtual time only advances with protocol events, and a
+	// partitioned transfer has none.
+	retry := time.NewTicker(e.cfg.TransferRetryEvery)
+	defer retry.Stop()
 	for {
 		select {
 		case <-e.stop:
 			return
 		case fn := <-e.cmds:
 			fn()
+		case <-retry.C:
+			e.transferTick()
 		case ev, ok := <-e.member.Out():
 			if !ok {
 				return
@@ -519,17 +605,29 @@ func (e *Engine) run() {
 }
 
 func (e *Engine) handleEvent(ev gcs.Event) {
+	if e.lastVT.Before(ev.VTime) {
+		e.lastVT = ev.VTime
+	}
 	switch ev.Kind {
 	case gcs.EventView:
 		e.handleView(ev)
 	case gcs.EventDirect:
 		msg, err := Decode(ev.Payload)
-		if err != nil || msg.Kind != KindState {
+		if err != nil {
 			return
 		}
-		e.pendStates[ckptKey{ev.Sender, msg.CkptSerial}] = msg
-		e.notePendingCkpts()
-		e.tryApplyCheckpoint(ev.Sender, msg.CkptSerial)
+		switch msg.Kind {
+		case KindState:
+			e.pendStates[ckptKey{ev.Sender, msg.CkptSerial}] = msg
+			e.notePendingCkpts()
+			e.tryApplyCheckpoint(ev.Sender, msg.CkptSerial)
+		case KindStateChunk:
+			e.handleStateChunk(ev, msg)
+		case KindChunkAck:
+			e.handleChunkAck(ev, msg)
+		case KindResumeReq:
+			e.handleResumeReq(ev, msg)
+		}
 	case gcs.EventMessage:
 		msg, err := Decode(ev.Payload)
 		if err != nil {
@@ -637,12 +735,28 @@ func (e *Engine) handleView(ev gcs.Event) {
 	e.notePendingCkpts()
 
 	if ev.Joined && len(ev.View.Members) > 1 {
-		// We joined a running group: wait for a state transfer.
+		// We joined a running group: wait for a state transfer. A partial
+		// transfer from a previous membership is unsafe to finish —
+		// deliveries may have been missed while we were out — so it is
+		// discarded and the retry driver requests a fresh one.
 		e.synced = false
 		e.log = nil
+		e.resetInXfer("rejoined")
 	}
 
 	leader := e.view.Coordinator() == e.Addr()
+
+	// Outgoing transfer cursors are only valid while this replica leads
+	// and the joiner stays in the view: a departed joiner may miss
+	// deliveries and must restart from a fresh capture when it returns,
+	// and a demoted leader's serial means nothing to its successor.
+	for _, x := range e.xfers {
+		if !leader {
+			e.abortTransfer(x, ev.VTime, "demoted")
+		} else if !e.view.Contains(x.peer) {
+			e.abortTransfer(x, ev.VTime, "joiner left view")
+		}
+	}
 
 	// Primary departure and we are next: a crash triggers the paper's
 	// failover (cold restart, replay, counted as a fault); a graceful
@@ -676,15 +790,17 @@ func (e *Engine) handleView(ev gcs.Event) {
 		e.notify(Notice{Kind: NoticeSwitchDone, VT: ev.VTime, Delay: e.stats.LastSwitchDelay, Style: e.style})
 	}
 
-	// State transfer for joiners: the leader checkpoints the group state
-	// so new members can initialize.
+	// State transfer for joiners: the leader captures a bookmark
+	// checkpoint and streams it in resumable chunks to every new member
+	// (one shared capture per view change).
 	if leader && e.synced {
+		var joiners []string
 		for _, m := range e.view.Members {
 			if m != e.Addr() && !prev.Contains(m) && prev.ID != 0 {
-				e.takeCheckpoint(ev.VTime, false, 0)
-				break
+				joiners = append(joiners, m)
 			}
 		}
+		e.startTransfers(joiners, ev.VTime)
 	}
 
 	e.notify(Notice{Kind: NoticeView, VT: ev.VTime, Style: e.style,
@@ -951,9 +1067,16 @@ func (e *Engine) takeCheckpoint(vt vtime.Time, final bool, switchID uint64) {
 
 	stateMsg := Encode(&Msg{Kind: KindState, State: state, CoveredSeq: e.lastExecSeq, CkptSerial: e.ckptSerial})
 	for _, m := range e.view.Members {
-		if m != e.Addr() {
-			_ = e.member.SendDirect(m, stateMsg, vt, vtime.Ledger{})
+		if m == e.Addr() {
+			continue
 		}
+		if e.xfers[m] != nil {
+			// A joiner mid-chunked-transfer is owned by that protocol;
+			// shipping it a competing full state would only duplicate
+			// bytes (it syncs through its cursor, or asks again).
+			continue
+		}
+		_ = e.member.SendDirect(m, stateMsg, vt, vtime.Ledger{})
 	}
 	if e.spans.On() {
 		e.spans.Annotate(span.CheckpointTrace(e.Addr(), e.ckptSerial), "checkpoint_capture",
@@ -1046,6 +1169,11 @@ func (e *Engine) tryApplyCheckpoint(sender string, serial uint64) {
 		e.trimLog(marker.CoveredSeq)
 		wasSynced := e.synced
 		e.synced = true
+		if !wasSynced {
+			// A full checkpoint beat the chunked path to syncing us; the
+			// partial transfer is moot.
+			e.resetInXfer("superseded by checkpoint")
+		}
 		if e.style.AllExecute() && (!wasSynced || marker.Final) {
 			// A joiner to an active group (or a backup completing a
 			// passive→active switch below) must catch up to the stream

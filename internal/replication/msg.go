@@ -43,6 +43,22 @@ const (
 	// so a retiring primary can hand off with a parting checkpoint that
 	// covers exactly the requests ordered before it.
 	KindRetire
+	// KindStateChunk carries one chunk of a joiner state transfer
+	// point-to-point from the state leader. Chunks are addressed by the
+	// (CkptSerial, ChunkIndex) cursor; the reply cache rides the final
+	// chunk. Unlike KindState, chunked transfers need no agreed-stream
+	// marker: CoveredSeq on every chunk fixes the log-trim point.
+	KindStateChunk
+	// KindChunkAck is the joiner's cumulative progress report for a
+	// chunked transfer: ChunkIndex is the count of contiguously received
+	// chunks of CkptSerial. The leader advances its send window from it,
+	// and it is the cursor a resume restarts from.
+	KindChunkAck
+	// KindResumeReq is the joiner's resume token, sent to the current
+	// coordinator while unsynced: CkptSerial/ChunkIndex name the partial
+	// transfer it holds (zero: none). The leader resumes a matching
+	// bookmark checkpoint at the cursor instead of re-sending everything.
+	KindResumeReq
 )
 
 // Msg is the replication layer's envelope.
@@ -77,6 +93,13 @@ type Msg struct {
 	CheckpointEvery uint32
 	// Target is the replica being retired (KindRetire).
 	Target string
+	// ChunkIndex is the chunk's position within its checkpoint
+	// (KindStateChunk), the cumulative contiguous-receive count
+	// (KindChunkAck), or the resume cursor (KindResumeReq).
+	ChunkIndex uint32
+	// ChunkCount is the total number of chunks in the transfer
+	// (KindStateChunk).
+	ChunkCount uint32
 }
 
 // CacheEntry is one client's cached reply, transferred in checkpoints so a
@@ -89,6 +112,12 @@ type CacheEntry struct {
 
 // errBadMsg reports an undecodable replication envelope.
 var errBadMsg = errors.New("replication: bad message")
+
+// hasChunkCursor reports whether the envelope kind carries the trailing
+// (ChunkIndex, ChunkCount) transfer-cursor fields.
+func hasChunkCursor(k MsgKind) bool {
+	return k == KindStateChunk || k == KindChunkAck || k == KindResumeReq
+}
 
 // Encode serializes m.
 func Encode(m *Msg) []byte {
@@ -120,6 +149,12 @@ func Encode(m *Msg) []byte {
 		e.PutFloat64(m.Metrics[k])
 	}
 	e.PutString(m.Target)
+	// The chunk cursor trails the envelope only for the transfer kinds,
+	// so the hot request path carries no extra bytes.
+	if hasChunkCursor(m.Kind) {
+		e.PutUint32(m.ChunkIndex)
+		e.PutUint32(m.ChunkCount)
+	}
 	return e.Bytes()
 }
 
@@ -201,6 +236,14 @@ func Decode(b []byte) (*Msg, error) {
 	}
 	if m.Target, err = d.String(); err != nil {
 		return nil, errBadMsg
+	}
+	if hasChunkCursor(m.Kind) {
+		if m.ChunkIndex, err = d.Uint32(); err != nil {
+			return nil, errBadMsg
+		}
+		if m.ChunkCount, err = d.Uint32(); err != nil {
+			return nil, errBadMsg
+		}
 	}
 	return &m, nil
 }

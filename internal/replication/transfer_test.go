@@ -1,0 +1,118 @@
+package replication
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func TestMsgRoundTripStateChunk(t *testing.T) {
+	m := &Msg{
+		Kind:       KindStateChunk,
+		State:      []byte("chunk-bytes"),
+		CkptSerial: 7,
+		CoveredSeq: 41,
+		ChunkIndex: 3,
+		ChunkCount: 9,
+		Cache:      []CacheEntry{{Client: "c1", ReqID: 5, Reply: []byte("ok")}},
+	}
+	got, err := Decode(Encode(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != m.Kind || !bytes.Equal(got.State, m.State) ||
+		got.CkptSerial != m.CkptSerial || got.CoveredSeq != m.CoveredSeq ||
+		got.ChunkIndex != m.ChunkIndex || got.ChunkCount != m.ChunkCount ||
+		!reflect.DeepEqual(got.Cache, m.Cache) {
+		t.Fatalf("round trip: got %+v want %+v", got, m)
+	}
+}
+
+func TestMsgRoundTripChunkAckAndResumeReq(t *testing.T) {
+	for _, m := range []*Msg{
+		{Kind: KindChunkAck, CkptSerial: 2, ChunkIndex: 11},
+		{Kind: KindResumeReq, CkptSerial: 3, ChunkIndex: 4},
+		{Kind: KindResumeReq}, // fresh joiner: zero token
+	} {
+		got, err := Decode(Encode(m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Kind != m.Kind || got.CkptSerial != m.CkptSerial ||
+			got.ChunkIndex != m.ChunkIndex || got.ChunkCount != m.ChunkCount {
+			t.Fatalf("round trip: got %+v want %+v", got, m)
+		}
+	}
+}
+
+// The cursor fields must not inflate the request hot path: a request
+// envelope encodes to the same bytes whether or not the struct carries
+// (ignored) cursor values.
+func TestRequestEnvelopeCarriesNoCursorBytes(t *testing.T) {
+	plain := Encode(&Msg{Kind: KindRequest, Viop: []byte("viop")})
+	dirty := Encode(&Msg{Kind: KindRequest, Viop: []byte("viop"), ChunkIndex: 9, ChunkCount: 9})
+	if !bytes.Equal(plain, dirty) {
+		t.Fatalf("request envelope grew with cursor fields: %d vs %d bytes", len(plain), len(dirty))
+	}
+}
+
+func TestSplitChunks(t *testing.T) {
+	state := make([]byte, 10)
+	for i := range state {
+		state[i] = byte(i)
+	}
+	chunks := splitChunks(state, 4)
+	if len(chunks) != 3 {
+		t.Fatalf("chunks = %d, want 3", len(chunks))
+	}
+	if len(chunks[0]) != 4 || len(chunks[1]) != 4 || len(chunks[2]) != 2 {
+		t.Fatalf("chunk sizes = %d,%d,%d", len(chunks[0]), len(chunks[1]), len(chunks[2]))
+	}
+	var joined []byte
+	for _, c := range chunks {
+		joined = append(joined, c...)
+	}
+	if !bytes.Equal(joined, state) {
+		t.Fatal("chunks do not reassemble the state")
+	}
+
+	// Zero-length state still produces one (empty) chunk so the protocol
+	// has something to ack.
+	if got := splitChunks(nil, 4); len(got) != 1 || len(got[0]) != 0 {
+		t.Fatalf("empty state chunks = %v", got)
+	}
+}
+
+func TestBookmarkPruneKeepsPinned(t *testing.T) {
+	e := &Engine{xfers: make(map[string]*outXfer)}
+	e.cfg.TransferBookmarks = 2
+	e.initTrace(nil)
+	for s := uint64(1); s <= 4; s++ {
+		e.bookmarks = append(e.bookmarks, &bookmark{serial: s})
+	}
+	// Serial 1 is pinned by an active transfer; pruning must evict the
+	// oldest unpinned bookmarks instead.
+	e.xfers["joiner"] = &outXfer{peer: "joiner", serial: 1}
+	e.pruneBookmarks()
+	if len(e.bookmarks) != 2 {
+		t.Fatalf("bookmarks = %d, want 2", len(e.bookmarks))
+	}
+	if e.findBookmark(1) == nil {
+		t.Fatal("pinned bookmark 1 was evicted")
+	}
+	if e.findBookmark(4) == nil {
+		t.Fatal("newest bookmark 4 was evicted")
+	}
+
+	// All pinned: pruning refuses to evict and tolerates the excess.
+	e.bookmarks = []*bookmark{{serial: 10}, {serial: 11}, {serial: 12}}
+	e.xfers = map[string]*outXfer{
+		"a": {peer: "a", serial: 10},
+		"b": {peer: "b", serial: 11},
+		"c": {peer: "c", serial: 12},
+	}
+	e.pruneBookmarks()
+	if len(e.bookmarks) != 3 {
+		t.Fatalf("all-pinned bookmarks = %d, want 3", len(e.bookmarks))
+	}
+}

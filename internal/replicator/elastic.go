@@ -83,6 +83,10 @@ type ElasticActuator struct {
 	// (default: zero, fine for live deployments where virtual time is
 	// unused).
 	Now func() vtime.Time
+	// TuneRetry, when set, applies a dial-retry decision to the node's
+	// transport (vdnode wires it to tcptransport.Endpoint.SetRetry). Nil
+	// on simulated fabrics, where there is nothing to dial.
+	TuneRetry func(attempts, backoffMs int) error
 }
 
 func (a *ElasticActuator) now() vtime.Time {
@@ -118,6 +122,15 @@ func (a *ElasticActuator) Grow() error {
 		return err
 	}
 	return a.Spawn(append([]string(nil), view.Members...))
+}
+
+// TuneDialRetry implements policy.RetryTuner by delegating to the
+// TuneRetry hook.
+func (a *ElasticActuator) TuneDialRetry(attempts, backoffMs int) error {
+	if a.TuneRetry == nil {
+		return errors.New("replicator: no retry tuner configured (simulated transport has no dials)")
+	}
+	return a.TuneRetry(attempts, backoffMs)
 }
 
 // Shrink implements policy.Actuator: gracefully retire the

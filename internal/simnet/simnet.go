@@ -137,6 +137,15 @@ func (n *Network) HealPartitions() {
 	n.partition = make(map[string]int)
 }
 
+// HealAddr returns one endpoint to partition 0, leaving any other
+// partitioned endpoints isolated — targeted healing for scripts that
+// reconnect a single joiner while a wider fault persists.
+func (n *Network) HealAddr(addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.partition, addr)
+}
+
 // Crash kills the process at addr: its endpoint stops receiving and its
 // sends are discarded. Crash is permanent for that endpoint (a recovered
 // process re-attaches under a new incarnation address).

@@ -234,6 +234,14 @@ func CheckpointTrace(node string, serial uint64) string {
 	return "ckpt:" + node + "#" + strconv.FormatUint(serial, 10)
 }
 
+// TransferTrace is the trace key for one chunked joiner state transfer,
+// keyed by the state leader, the joiner, and the bookmark serial — the
+// same on both ends, so merged snapshots show the capture, every resume,
+// and the final apply on a single causal timeline.
+func TransferTrace(leader, joiner string, serial uint64) string {
+	return "xfer:" + leader + ">" + joiner + "#" + strconv.FormatUint(serial, 10)
+}
+
 // Timeline returns the spans of one trace in causal display order
 // (ascending Start, ties broken by End then Name for determinism).
 func Timeline(spans []Span, trace string) []Span {

@@ -24,8 +24,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"versadep/internal/transport"
@@ -39,19 +41,104 @@ const maxFrame = 64 << 20
 // sendQueueDepth bounds each peer's outbound queue.
 const sendQueueDepth = 1024
 
-// dialTimeout bounds connection attempts inside sender goroutines.
-const dialTimeout = 2 * time.Second
+// RetryConfig tunes outbound connection establishment. A frame triggers up
+// to DialAttempts connection attempts, each bounded by AttemptTimeout,
+// separated by jittered exponential backoff starting at BackoffBase and
+// capped at BackoffMax. Only after the whole budget is exhausted is the
+// frame dropped (datagram semantics; the upper layers retransmit) — so the
+// budget is exactly how long a peer restart may take before frames queued
+// behind the dial are lost.
+type RetryConfig struct {
+	DialAttempts   int
+	AttemptTimeout time.Duration
+	BackoffBase    time.Duration
+	BackoffMax     time.Duration
+}
+
+// DefaultRetry is the retry policy used unless overridden by WithRetry or
+// SetRetry: a handful of attempts spanning roughly two seconds, matching
+// the single 2s dial timeout the transport shipped with historically.
+func DefaultRetry() RetryConfig {
+	return RetryConfig{
+		DialAttempts:   4,
+		AttemptTimeout: 2 * time.Second,
+		BackoffBase:    50 * time.Millisecond,
+		BackoffMax:     time.Second,
+	}
+}
+
+// sanitize clamps nonsensical values so a zero or partial config still
+// behaves (at least one attempt, non-zero timeout and backoff).
+func (c RetryConfig) sanitize() RetryConfig {
+	d := DefaultRetry()
+	if c.DialAttempts < 1 {
+		c.DialAttempts = 1
+	}
+	if c.AttemptTimeout <= 0 {
+		c.AttemptTimeout = d.AttemptTimeout
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = d.BackoffBase
+	}
+	if c.BackoffMax < c.BackoffBase {
+		c.BackoffMax = c.BackoffBase
+	}
+	return c
+}
+
+// backoffFor returns the jittered backoff before attempt n (n counts from
+// 1 between the first and second dials): exponential growth capped at
+// BackoffMax, with ±50% jitter so a cohort of reconnecting peers does not
+// stampede a restarted listener in lockstep.
+func (c RetryConfig) backoffFor(n int) time.Duration {
+	b := c.BackoffBase
+	for i := 1; i < n && b < c.BackoffMax; i++ {
+		b *= 2
+	}
+	if b > c.BackoffMax {
+		b = c.BackoffMax
+	}
+	half := int64(b) / 2
+	if half <= 0 {
+		return b
+	}
+	return time.Duration(half + rand.Int63n(half*2))
+}
+
+// Stats counts the endpoint's wire-level events. Reconnects counts dials
+// that succeeded after at least one failure for the same frame — the
+// signature of riding out a peer restart.
+type Stats struct {
+	Dials        uint64
+	DialFailures uint64
+	Reconnects   uint64
+	Dropped      uint64
+}
+
+// Option configures an Endpoint at Listen time.
+type Option func(*Endpoint)
+
+// WithRetry sets the initial dial-retry policy.
+func WithRetry(c RetryConfig) Option {
+	return func(e *Endpoint) { e.retry.Store(c.sanitize()) }
+}
 
 // Endpoint is one process's TCP attachment.
 type Endpoint struct {
 	name  string
 	ln    net.Listener
 	peers map[string]string
+	retry atomic.Value // RetryConfig
 
 	mu      sync.Mutex
 	senders map[string]*peerSender
 	inbound map[net.Conn]bool
 	closed  bool
+
+	dials        atomic.Uint64
+	dialFailures atomic.Uint64
+	reconnects   atomic.Uint64
+	dropped      atomic.Uint64
 
 	out  chan transport.Message
 	done chan struct{}
@@ -62,7 +149,7 @@ var _ transport.MultiEndpoint = (*Endpoint)(nil)
 
 // Listen starts an endpoint with the given logical name, binding bind
 // (host:port), with peers mapping logical names to host:port addresses.
-func Listen(name, bind string, peers map[string]string) (*Endpoint, error) {
+func Listen(name, bind string, peers map[string]string, opts ...Option) (*Endpoint, error) {
 	ln, err := net.Listen("tcp", bind)
 	if err != nil {
 		return nil, fmt.Errorf("tcptransport: listen %s: %w", bind, err)
@@ -76,9 +163,31 @@ func Listen(name, bind string, peers map[string]string) (*Endpoint, error) {
 		out:     make(chan transport.Message, 256),
 		done:    make(chan struct{}),
 	}
+	e.retry.Store(DefaultRetry())
+	for _, o := range opts {
+		o(e)
+	}
 	e.wg.Add(1)
 	go e.accept()
 	return e, nil
+}
+
+// SetRetry swaps the dial-retry policy at runtime (Table 1 discipline:
+// low-level knobs stay tunable while the system runs, so the policy layer
+// can harden dialing when the fault monitor reports a flaky network).
+func (e *Endpoint) SetRetry(c RetryConfig) { e.retry.Store(c.sanitize()) }
+
+// Retry returns the current dial-retry policy.
+func (e *Endpoint) Retry() RetryConfig { return e.retry.Load().(RetryConfig) }
+
+// Stats returns a snapshot of the endpoint's wire counters.
+func (e *Endpoint) Stats() Stats {
+	return Stats{
+		Dials:        e.dials.Load(),
+		DialFailures: e.dialFailures.Load(),
+		Reconnects:   e.reconnects.Load(),
+		Dropped:      e.dropped.Load(),
+	}
 }
 
 // Addr returns the endpoint's logical name.
@@ -107,7 +216,7 @@ func (e *Endpoint) Send(to string, payload []byte, sentAt vtime.Time) error {
 			e.mu.Unlock()
 			return nil // unknown peer: datagram drop
 		}
-		ps = newPeerSender(hostport, e.done)
+		ps = newPeerSender(e, hostport)
 		e.senders[to] = ps
 		e.wg.Add(1)
 		go func() {
@@ -121,6 +230,7 @@ func (e *Endpoint) Send(to string, payload []byte, sentAt vtime.Time) error {
 	case ps.ch <- frame:
 	default:
 		// Queue full: drop; the upper layers retransmit.
+		e.dropped.Add(1)
 	}
 	return nil
 }
@@ -231,16 +341,47 @@ func (e *Endpoint) read(conn net.Conn) {
 
 // peerSender owns the outbound connection to one peer.
 type peerSender struct {
+	ep       *Endpoint
 	hostport string
 	ch       chan []byte
 	done     <-chan struct{}
 }
 
-func newPeerSender(hostport string, done <-chan struct{}) *peerSender {
+func newPeerSender(e *Endpoint, hostport string) *peerSender {
 	return &peerSender{
+		ep:       e,
 		hostport: hostport,
 		ch:       make(chan []byte, sendQueueDepth),
-		done:     done,
+		done:     e.done,
+	}
+}
+
+// dial establishes the outbound connection under the endpoint's current
+// retry budget: up to DialAttempts tries, each bounded by AttemptTimeout,
+// separated by jittered exponential backoff. It returns nil when the
+// budget is exhausted or the endpoint shut down. Frames enqueued behind
+// the dial simply wait in the bounded queue, so a peer restart inside the
+// budget loses nothing that was already queued.
+func (p *peerSender) dial() net.Conn {
+	cfg := p.ep.Retry()
+	for attempt := 1; ; attempt++ {
+		p.ep.dials.Add(1)
+		conn, err := net.DialTimeout("tcp", p.hostport, cfg.AttemptTimeout)
+		if err == nil {
+			if attempt > 1 {
+				p.ep.reconnects.Add(1)
+			}
+			return conn
+		}
+		p.ep.dialFailures.Add(1)
+		if attempt >= cfg.DialAttempts {
+			return nil
+		}
+		select {
+		case <-p.done:
+			return nil
+		case <-time.After(cfg.backoffFor(attempt)):
+		}
 	}
 }
 
@@ -257,15 +398,25 @@ func (p *peerSender) run() {
 			return
 		case frame := <-p.ch:
 			if conn == nil {
-				c, err := net.DialTimeout("tcp", p.hostport, dialTimeout)
-				if err != nil {
-					continue // drop; upper layers retransmit
+				if conn = p.dial(); conn == nil {
+					p.ep.dropped.Add(1)
+					continue // budget exhausted; upper layers retransmit
 				}
-				conn = c
 			}
 			if _, err := conn.Write(frame); err != nil {
+				// The peer vanished mid-stream (restart, crash): redial
+				// under the same budget and give this frame one more try
+				// before reverting to datagram drop semantics.
 				_ = conn.Close()
-				conn = nil
+				if conn = p.dial(); conn == nil {
+					p.ep.dropped.Add(1)
+					continue
+				}
+				if _, err := conn.Write(frame); err != nil {
+					_ = conn.Close()
+					conn = nil
+					p.ep.dropped.Add(1)
+				}
 			}
 		}
 	}

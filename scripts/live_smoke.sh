@@ -1,9 +1,18 @@
 #!/usr/bin/env bash
-# Live-cluster smoke test: three vdnode replicas over real TCP, one
-# client driving the replicated counter, and a kill -9 of the primary
-# mid-run. Passes iff the client completes its full request cycle
-# despite the crash — the end-to-end failover guarantee, exercised on
-# the real transport rather than the simulated fabric.
+# Live-cluster smoke tests over real TCP.
+#
+# Scenario 1: three vdnode replicas, one client driving the replicated
+# counter, and a kill -9 of the primary mid-run. Passes iff the client
+# completes its full request cycle despite the crash — the end-to-end
+# failover guarantee on the real transport rather than the simulated
+# fabric.
+#
+# Scenario 2: a joiner receiving a large chunked state transfer is
+# kill -9'd mid-stream, then restarted under the same name and port.
+# Passes iff the restarted joiner is re-admitted, receives a fresh
+# transfer (the leader aborts the orphaned cursor when the joiner drops
+# from the view), and reports synced — liveness of the transfer path
+# across a joiner crash, riding the transport's dial-retry reconnect.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -67,3 +76,85 @@ if ! grep -q "done: $REQUESTS requests" "$WORK/client.log"; then
 fi
 echo "smoke: client completed all $REQUESTS requests across a primary crash"
 grep -h "failover complete" "$WORK"/r?.log || true
+
+# ---------------------------------------------------------------------------
+# Scenario 2: joiner crash mid-transfer, restart, resume to synced.
+# A fresh two-replica group carries 2 MB of state in 2 KB chunks so the
+# joiner transfer spans real wall time on loopback.
+for pid in "${PIDS[@]}"; do kill -9 "$pid" 2>/dev/null || true; done
+wait 2>/dev/null || true
+PIDS=()
+
+# 32 MB of state in 2 KB chunks with a window of 1 makes the transfer
+# ack-round-trip bound — real wall time even on loopback, so the kill
+# below lands mid-stream. The chunk flood can delay heartbeats, so the
+# failure detector is loosened to 2 s (the post-kill sleep below must
+# exceed it so the dead joiner leaves the view before its replacement
+# asks to join).
+XPEERS="xa=127.0.0.1:7101,xb=127.0.0.1:7102,xj=127.0.0.1:7103"
+XFER_FLAGS=(-state-bytes $((32 * 1024 * 1024)) -transfer-chunk 2048 -transfer-window 1
+  -suspect-after 2s)
+
+"$WORK/vdnode" -role replica -name xa -bind 127.0.0.1:7101 -peers "$XPEERS" \
+  "${XFER_FLAGS[@]}" >"$WORK/xa.log" 2>&1 &
+PIDS+=("$!")
+sleep 1
+"$WORK/vdnode" -role replica -name xb -bind 127.0.0.1:7102 -seeds xa -peers "$XPEERS" \
+  "${XFER_FLAGS[@]}" >"$WORK/xb.log" 2>&1 &
+PIDS+=("$!")
+for _ in $(seq 1 300); do
+  grep -q "transfer complete" "$WORK/xb.log" && break
+  sleep 0.1
+done
+
+start_joiner() {
+  # exec replaces the subshell so $! is the vdnode pid, not a wrapper.
+  exec "$WORK/vdnode" -role replica -name xj -bind 127.0.0.1:7103 -seeds xa -peers "$XPEERS" \
+    "${XFER_FLAGS[@]}" -dial-attempts 12 -dial-backoff 100ms "$@"
+}
+start_joiner >"$WORK/xj.log" 2>&1 &
+XJ=$!
+PIDS+=("$XJ")
+
+xfail() {
+  for r in xa xb xj xj2; do
+    echo "--- $r.log (tail) ---"
+    tail -20 "$WORK/$r.log" 2>/dev/null || true
+  done
+  exit 1
+}
+
+# Kill the joiner once the leader reports its transfer in flight (the
+# joiner itself only logs milestones on chunk receipt).
+started=false
+for _ in $(seq 1 500); do
+  if grep -q "transfer started with xj" "$WORK/xa.log"; then started=true; break; fi
+  sleep 0.02
+done
+if ! $started; then
+  echo "smoke: leader never reported a transfer to the joiner"
+  xfail
+fi
+kill -9 "$XJ"
+if grep -q "transfer complete with xa" "$WORK/xj.log"; then
+  echo "smoke: transfer finished before the kill landed — not a mid-transfer crash"
+  xfail
+fi
+echo "smoke: killed joiner xj mid-transfer"
+sleep 4
+
+# Same name, same port: the group must re-admit it and transfer again.
+start_joiner >"$WORK/xj2.log" 2>&1 &
+PIDS+=("$!")
+synced=false
+for _ in $(seq 1 600); do
+  if grep -q "transfer complete with xa" "$WORK/xj2.log" && \
+     grep -q "synced=true" "$WORK/xj2.log"; then synced=true; break; fi
+  sleep 0.1
+done
+if ! $synced; then
+  echo "smoke: restarted joiner never resumed to synced"
+  xfail
+fi
+echo "smoke: restarted joiner re-admitted and synced after mid-transfer crash"
+grep -h "transfer" "$WORK/xj2.log" | head -3 || true
