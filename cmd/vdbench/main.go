@@ -26,7 +26,8 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run: all, fig3, fig4, fig6, fig7, table2, fig9, switchdelay, statetransfer")
+		exp      = flag.String("exp", "all", "experiment to run: all, fig3, fig4, fig6, fig7, table2, fig9, switchdelay, statetransfer, chaos")
+		chaosN   = flag.Int("chaos-runs", 20, "seeded runs per chaos campaign (chaos experiment)")
 		requests = flag.Int("requests", 0, "requests per client cycle (default harness setting; paper uses 10000)")
 		seed     = flag.Uint64("seed", 0, "deterministic seed (default harness setting)")
 		replicas = flag.Int("replicas", 3, "max replicas for the fig7 sweep")
@@ -35,7 +36,7 @@ func main() {
 		benchDir = flag.String("bench-json", "", "directory to write BENCH_*.json perf-trajectory points into (fig3 and statetransfer)")
 	)
 	flag.Parse()
-	if err := run(*exp, *requests, *seed, *replicas, *clients, *traceDmp, *benchDir); err != nil {
+	if err := run(*exp, *requests, *seed, *replicas, *clients, *chaosN, *traceDmp, *benchDir); err != nil {
 		fmt.Fprintln(os.Stderr, "vdbench:", err)
 		os.Exit(1)
 	}
@@ -55,7 +56,7 @@ func writeBenchJSON(dir, name string, v any) error {
 	return nil
 }
 
-func run(exp string, requests int, seed uint64, maxReplicas, maxClients int, traceDump bool, benchDir string) error {
+func run(exp string, requests int, seed uint64, maxReplicas, maxClients, chaosRuns int, traceDump bool, benchDir string) error {
 	o := experiment.DefaultOptions()
 	if requests > 0 {
 		o.Requests = requests
@@ -150,6 +151,31 @@ func run(exp string, requests int, seed uint64, maxReplicas, maxClients int, tra
 			if err := writeBenchJSON(benchDir, "BENCH_state_transfer.json", res); err != nil {
 				return err
 			}
+		}
+	}
+	// The chaos campaign is real-time (fault schedules, detector timing)
+	// and so runs only when asked for, not under "all" with the virtual-
+	// time paper figures.
+	if strings.EqualFold(exp, "chaos") {
+		ran = true
+		co := o
+		co.StateBytes = 2048
+		chaosSeed := seed
+		if chaosSeed == 0 {
+			chaosSeed = 7
+		}
+		res, report, err := experiment.RunChaosBench(co, chaosRuns, chaosSeed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiment.RenderChaos(res, report))
+		if benchDir != "" {
+			if err := writeBenchJSON(benchDir, "BENCH_chaos.json", res); err != nil {
+				return err
+			}
+		}
+		if !res.Passed {
+			return fmt.Errorf("chaos campaign failed %d invariant checks", res.Violations)
 		}
 	}
 	if !ran {

@@ -31,11 +31,14 @@ import (
 	"syscall"
 	"time"
 
+	"versadep/internal/faults/chaos"
 	"versadep/internal/gcs"
 	"versadep/internal/introspect"
 	"versadep/internal/policy"
 	"versadep/internal/replication"
 	"versadep/internal/replicator"
+	"versadep/internal/transport"
+	"versadep/internal/transport/chaoswire"
 	"versadep/internal/transport/tcptransport"
 	"versadep/internal/vtime"
 	"versadep/internal/workload"
@@ -57,6 +60,8 @@ type replicaOpts struct {
 	dialAttempts  int
 	dialBackoff   time.Duration
 	suspectAfter  time.Duration
+	detector      string
+	chaos         string
 }
 
 func main() {
@@ -81,11 +86,14 @@ func main() {
 		dialAtt  = flag.Int("dial-attempts", 0, "transport dial attempts per send before dropping (0 = transport default)")
 		dialBack = flag.Duration("dial-backoff", 0, "base backoff between dial attempts (0 = transport default)")
 		suspect  = flag.Duration("suspect-after", 0, "failure-detector silence threshold (0 = group default; raise when large transfers may delay heartbeats)")
+		detector = flag.String("detector", "", "failure detector: \"phi\" or \"phi:THRESH\" (accrual suspicion) or \"timeout\" (fixed silence window only); default = group default")
+		chaosArg = flag.String("chaos", "", "perturb this node's outbound wire traffic with chaos faults, \"SPEC[:SEED]\" (e.g. \"drop=0.05,corrupt=0.02:7\"; see internal/faults/chaos)")
 	)
 	flag.Parse()
 	pol := policyOpts{spec: *polSpec, cooldown: *cooldown, every: *adaptEv, spawnCmd: *spawnCmd}
 	rep := replicaOpts{stateBytes: *stateB, transferChunk: *xferChnk, transferWin: *xferWin,
-		dialAttempts: *dialAtt, dialBackoff: *dialBack, suspectAfter: *suspect}
+		dialAttempts: *dialAtt, dialBackoff: *dialBack, suspectAfter: *suspect,
+		detector: *detector, chaos: *chaosArg}
 	if err := run(*role, *name, *bind, *peersStr, *seedsStr, *members, *style, *requests, *traceDmp, *intro, pol, rep); err != nil {
 		fmt.Fprintln(os.Stderr, "vdnode:", err)
 		os.Exit(1)
@@ -145,14 +153,70 @@ func run(role, name, bind, peersStr, seedsStr, membersStr, styleName string, req
 		return err
 	}
 
+	// The chaos wrapper perturbs this node's outbound wire traffic with
+	// the per-message fault classes of the spec; corruption is caught and
+	// dropped by the receivers' frame checksums.
+	var wire transport.MultiEndpoint = ep
+	var cw *chaoswire.Endpoint
+	if rep.chaos != "" {
+		spec, seed, err := chaos.ParseSpec(rep.chaos)
+		if err != nil {
+			_ = ep.Close()
+			return err
+		}
+		cw = chaoswire.Wrap(ep, spec, seed)
+		wire = cw
+		fmt.Printf("[%s] wire chaos on: %s (seed %d)\n", name, spec, seed)
+	}
+
 	switch role {
 	case "replica":
-		return runReplica(ep, splitList(seedsStr), styleName, traceDump, intro, pol, rep)
+		return runReplica(ep, wire, cw, splitList(seedsStr), styleName, traceDump, intro, pol, rep)
 	case "client":
-		return runClient(ep, splitList(membersStr), requests, traceDump, intro)
+		return runClient(wire, cw, splitList(membersStr), requests, traceDump, intro)
 	default:
 		_ = ep.Close()
 		return fmt.Errorf("unknown role %q", role)
+	}
+}
+
+// detectorGauges publishes the failure detector's live suspicion state on
+// /metrics: each tracked peer's current phi level and a 0/1 flag per
+// suspected peer. Scraping phi over time shows the detector adapt to the
+// network's latency distribution (a spike raises phi briefly; a crash
+// drives it through the threshold).
+func detectorGauges(node *replicator.ReplicaNode) func() map[string]float64 {
+	return func() map[string]float64 {
+		g := make(map[string]float64)
+		for peer, phi := range node.Member().PhiSnapshot() {
+			g[fmt.Sprintf("versadep_detector_phi{peer=%q}", peer)] = phi
+		}
+		for _, peer := range node.Member().Suspects() {
+			g[fmt.Sprintf("versadep_detector_suspect{peer=%q}", peer)] = 1
+		}
+		return g
+	}
+}
+
+// wireGauges publishes the transport's wire-integrity counters — frames
+// the CRC caught and dropped, dial/reconnect churn — plus, when chaos
+// injection is on, how many outbound messages each fault class touched.
+func wireGauges(ep *tcptransport.Endpoint, cw *chaoswire.Endpoint) func() map[string]float64 {
+	return func() map[string]float64 {
+		st := ep.Stats()
+		g := map[string]float64{
+			"versadep_transport_corrupt_frames": float64(st.CorruptFrames),
+			"versadep_transport_dropped":        float64(st.Dropped),
+			"versadep_transport_reconnects":     float64(st.Reconnects),
+		}
+		if cw != nil {
+			cs := cw.Stats()
+			g["versadep_chaos_injected_drops"] = float64(cs.Dropped)
+			g["versadep_chaos_injected_dups"] = float64(cs.Duplicated)
+			g["versadep_chaos_injected_delays"] = float64(cs.Delayed)
+			g["versadep_chaos_injected_corruptions"] = float64(cs.Corrupted)
+		}
+		return g
 	}
 }
 
@@ -224,7 +288,7 @@ func startController(node *replicator.ReplicaNode, ep *tcptransport.Endpoint, po
 	return ctrl, stop, nil
 }
 
-func runReplica(ep *tcptransport.Endpoint, seeds []string, styleName string, traceDump bool, intro string, pol policyOpts, rep replicaOpts) error {
+func runReplica(ep *tcptransport.Endpoint, wire transport.MultiEndpoint, cw *chaoswire.Endpoint, seeds []string, styleName string, traceDump bool, intro string, pol policyOpts, rep replicaOpts) error {
 	style, err := replication.ParseStyle(styleName)
 	if err != nil {
 		return err
@@ -234,12 +298,21 @@ func runReplica(ep *tcptransport.Endpoint, seeds []string, styleName string, tra
 	// tolerate real-network scheduling.
 	app := workload.NewBenchApp(rep.stateBytes, 0, 64)
 	var gcsCfg *gcs.Config
-	if rep.suspectAfter > 0 {
+	if rep.suspectAfter > 0 || rep.detector != "" {
 		g := gcs.DefaultConfig()
-		g.SuspectAfter = rep.suspectAfter
+		if rep.suspectAfter > 0 {
+			g.SuspectAfter = rep.suspectAfter
+		}
+		if rep.detector != "" {
+			phi, err := gcs.ParseDetector(rep.detector)
+			if err != nil {
+				return err
+			}
+			g.PhiThreshold = phi
+		}
 		gcsCfg = &g
 	}
-	node := replicator.StartReplica(ep, replicator.ReplicaConfig{
+	node := replicator.StartReplica(wire, replicator.ReplicaConfig{
 		Seeds: seeds,
 		GCS:   gcsCfg,
 		Replication: replication.Config{
@@ -291,6 +364,8 @@ func runReplica(ep *tcptransport.Endpoint, seeds []string, styleName string, tra
 		introOpts = append(introOpts,
 			introspect.WithJSON("/policy", func() any { return ctrl.Status() }))
 	}
+	introOpts = append(introOpts, introspect.WithGauges(detectorGauges(node)),
+		introspect.WithGauges(wireGauges(ep, cw)))
 	closeIntro, err := serveIntrospect(intro, node.TraceSnapshot, introOpts...)
 	if err != nil {
 		node.Leave()
@@ -335,12 +410,13 @@ func runReplica(ep *tcptransport.Endpoint, seeds []string, styleName string, tra
 	}
 }
 
-func runClient(ep *tcptransport.Endpoint, members []string, requests int, traceDump bool, intro string) error {
+func runClient(wire transport.MultiEndpoint, cw *chaoswire.Endpoint, members []string, requests int, traceDump bool, intro string) error {
 	if len(members) == 0 {
-		_ = ep.Close()
+		_ = wire.Close()
 		return fmt.Errorf("-members is required for the client role")
 	}
-	client := replicator.StartClient(ep, replicator.ClientConfig{
+	_ = cw // chaos counters are scraped from replicas; the client just perturbs
+	client := replicator.StartClient(wire, replicator.ClientConfig{
 		Members: members,
 		Model:   vtime.DefaultCostModel(),
 		Timeout: 2 * time.Second,

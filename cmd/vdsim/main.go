@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"versadep/internal/experiment"
+	"versadep/internal/gcs"
 	"versadep/internal/monitor"
 	"versadep/internal/policy"
 	"versadep/internal/replication"
@@ -50,6 +51,9 @@ func main() {
 		stateB    = flag.Int("state-bytes", 0, "application state size in bytes (0 = harness default; sets the joiner transfer volume)")
 		xferChunk = flag.Int("transfer-chunk", 0, "joiner state-transfer chunk size in bytes (0 = engine default)")
 		xferRetry = flag.Duration("transfer-retry", 0, "transfer retry tick for stalled joiners (0 = engine default)")
+		detector  = flag.String("detector", "", "failure detector: \"phi\" or \"phi:THRESH\" (accrual suspicion) or \"timeout\" (fixed silence window only); default = group default")
+		chaosArg  = flag.String("chaos", "", "inject a deterministic chaos schedule during the run, \"SPEC[:SEED]\" (e.g. \"all:7\" or \"drop=0.1,partition=1\"; see internal/faults/chaos)")
+		chaosFor  = flag.Duration("chaos-for", 500*time.Millisecond, "chaos schedule window (faults injected and healed inside it)")
 	)
 	flag.Parse()
 	cfg := runConfig{
@@ -60,6 +64,7 @@ func main() {
 		growAt: *growAt, retireAt: *retireAt,
 		adapt: *adapt, cooldown: *cooldown,
 		stateBytes: *stateB, transferChunk: *xferChunk, transferRetry: *xferRetry,
+		detector: *detector, chaos: *chaosArg, chaosFor: *chaosFor,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "vdsim:", err)
@@ -82,6 +87,9 @@ type runConfig struct {
 	stateBytes        int
 	transferChunk     int
 	transferRetry     time.Duration
+	detector          string
+	chaos             string
+	chaosFor          time.Duration
 }
 
 func run(cfg runConfig) error {
@@ -108,6 +116,17 @@ func run(cfg runConfig) error {
 	}
 	o.TransferChunkBytes = cfg.transferChunk
 	o.TransferRetryEvery = cfg.transferRetry
+	if cfg.detector != "" {
+		phi, err := gcs.ParseDetector(cfg.detector)
+		if err != nil {
+			return err
+		}
+		if phi > 0 {
+			o.PhiThreshold = phi
+		} else {
+			o.PhiThreshold = -1
+		}
+	}
 
 	var mu sync.Mutex
 	var notices []replication.Notice
@@ -128,6 +147,19 @@ func run(cfg runConfig) error {
 
 	fmt.Printf("scenario: %s, %d replicas, %d clients, %d requests/client\n",
 		style, replicas, clients, requests)
+
+	var chaosDone <-chan struct{}
+	if cfg.chaos != "" {
+		done, steps, err := scn.Chaos(cfg.chaos, cfg.chaosFor)
+		if err != nil {
+			return err
+		}
+		chaosDone = done
+		fmt.Printf("chaos schedule (%d steps over %v):\n", len(steps), cfg.chaosFor)
+		for _, s := range steps {
+			fmt.Printf("  %s\n", s)
+		}
+	}
 
 	var ctrl *policy.Controller
 	if cfg.adapt != "" {
@@ -183,6 +215,9 @@ func run(cfg runConfig) error {
 	})
 	if err != nil {
 		return err
+	}
+	if chaosDone != nil {
+		<-chaosDone // let the schedule finish its heal-all before reporting
 	}
 	time.Sleep(100 * time.Millisecond)
 

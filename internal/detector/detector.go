@@ -1,0 +1,175 @@
+// Package detector implements phi-accrual failure detection (Hayashibara
+// et al., SRDS 2004): instead of a binary suspect-after timeout, each
+// monitored peer accrues a continuous suspicion level phi derived from the
+// statistics of its observed heartbeat inter-arrival times.
+//
+// The paper this repository reproduces tunes dependability knobs against an
+// observed fault environment; a fixed timeout makes the crash-rate signal
+// noisy — latency spikes masquerade as crashes — while an accrual detector
+// adapts its expectation to what the network actually delivers. The phi
+// value is comparable across peers and time: phi >= t means "the
+// probability that this silence is a normal delay is at most 10^-t".
+//
+// The implementation models inter-arrival times with an exponential tail
+// fitted to the sliding-window mean, the simplification used by Cassandra:
+//
+//	phi(now) = log10(e) * (now - lastHeartbeat) / mean
+//
+// which is cheap, windowed, and monotone in silence duration.
+package detector
+
+import (
+	"sync"
+	"time"
+)
+
+// log10E converts a natural-log exponent to base 10: phi = t/mean * log10(e).
+const log10E = 0.4342944819032518
+
+// DefaultWindow is the inter-arrival sample window per peer.
+const DefaultWindow = 32
+
+// Phi is a phi-accrual failure detector over a set of peers. All methods
+// are safe for concurrent use.
+type Phi struct {
+	mu      sync.Mutex
+	window  int
+	minMean time.Duration
+	peers   map[string]*peerState
+}
+
+// peerState is one peer's sliding inter-arrival window.
+type peerState struct {
+	last      time.Time
+	intervals []time.Duration
+	next      int
+	full      bool
+	sum       time.Duration
+}
+
+// New creates a detector keeping a sliding window of inter-arrival samples
+// per peer. minMean floors the fitted mean so that a burst of back-to-back
+// arrivals (delivery after a partition heals) cannot collapse the
+// expectation to near zero and make every subsequent normal gap look like
+// a crash. window <= 0 uses DefaultWindow.
+func New(window int, minMean time.Duration) *Phi {
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	return &Phi{
+		window:  window,
+		minMean: minMean,
+		peers:   make(map[string]*peerState),
+	}
+}
+
+// Heartbeat records a sign of life from peer at time now.
+func (p *Phi) Heartbeat(peer string, now time.Time) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := p.peers[peer]
+	if st == nil {
+		st = &peerState{intervals: make([]time.Duration, p.window)}
+		p.peers[peer] = st
+		st.last = now
+		return
+	}
+	iv := now.Sub(st.last)
+	if iv <= 0 {
+		// A duplicate or reordered stale arrival carries no interval
+		// information and must not rewind last-heard.
+		return
+	}
+	st.last = now
+	p.record(st, iv)
+}
+
+// record pushes one interval into the ring.
+func (p *Phi) record(st *peerState, iv time.Duration) {
+	if st.full {
+		st.sum -= st.intervals[st.next]
+	}
+	st.intervals[st.next] = iv
+	st.sum += iv
+	st.next++
+	if st.next == len(st.intervals) {
+		st.next = 0
+		st.full = true
+	}
+}
+
+// samples returns how many intervals st holds.
+func (st *peerState) samples() int {
+	if st.full {
+		return len(st.intervals)
+	}
+	return st.next
+}
+
+// mean returns the windowed mean inter-arrival time, floored at minMean.
+func (p *Phi) mean(st *peerState) time.Duration {
+	n := st.samples()
+	if n == 0 {
+		return 0
+	}
+	m := st.sum / time.Duration(n)
+	if m < p.minMean {
+		m = p.minMean
+	}
+	return m
+}
+
+// Phi returns the peer's current suspicion level at time now. ok reports
+// whether the detector has enough history (at least two intervals) to
+// produce a calibrated value; with ok == false callers should fall back to
+// their fixed-timeout floor.
+func (p *Phi) Phi(peer string, now time.Time) (phi float64, ok bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := p.peers[peer]
+	if st == nil || st.samples() < 2 {
+		return 0, false
+	}
+	silence := now.Sub(st.last)
+	if silence <= 0 {
+		return 0, true
+	}
+	mean := p.mean(st)
+	return log10E * float64(silence) / float64(mean), true
+}
+
+// Forget drops all history for peer: its next heartbeat starts a fresh
+// window. Call when a peer leaves, crashes, or rejoins under the same name
+// (a restarted process's silence gap must not pollute its interval
+// statistics).
+func (p *Phi) Forget(peer string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.peers, peer)
+}
+
+// Reset drops every peer's history.
+func (p *Phi) Reset() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.peers = make(map[string]*peerState)
+}
+
+// Snapshot returns the current phi of every tracked peer with enough
+// history, for introspection endpoints.
+func (p *Phi) Snapshot(now time.Time) map[string]float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]float64, len(p.peers))
+	for peer, st := range p.peers {
+		if st.samples() < 2 {
+			continue
+		}
+		silence := now.Sub(st.last)
+		if silence < 0 {
+			silence = 0
+		}
+		out[peer] = log10E * float64(silence) / float64(p.mean(st))
+	}
+	return out
+}

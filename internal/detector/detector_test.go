@@ -1,0 +1,193 @@
+package detector
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// feed records n heartbeats at a fixed interval and returns the time of the
+// last one.
+func feed(p *Phi, peer string, start time.Time, interval time.Duration, n int) time.Time {
+	t := start
+	for i := 0; i < n; i++ {
+		p.Heartbeat(peer, t)
+		t = t.Add(interval)
+	}
+	return t.Add(-interval)
+}
+
+func TestPhiNeedsHistory(t *testing.T) {
+	p := New(8, 0)
+	base := time.Unix(0, 0)
+	if _, ok := p.Phi("a", base); ok {
+		t.Fatal("unknown peer reported ok")
+	}
+	p.Heartbeat("a", base)
+	if _, ok := p.Phi("a", base.Add(time.Second)); ok {
+		t.Fatal("single heartbeat (zero intervals) reported ok")
+	}
+	p.Heartbeat("a", base.Add(10*time.Millisecond))
+	if _, ok := p.Phi("a", base.Add(time.Second)); ok {
+		t.Fatal("one interval reported ok, want two")
+	}
+	p.Heartbeat("a", base.Add(20*time.Millisecond))
+	if _, ok := p.Phi("a", base.Add(time.Second)); !ok {
+		t.Fatal("two intervals not enough for phi")
+	}
+}
+
+func TestPhiGrowsWithSilence(t *testing.T) {
+	p := New(16, 0)
+	base := time.Unix(0, 0)
+	last := feed(p, "a", base, 10*time.Millisecond, 10)
+
+	// Silence equal to the mean interval: phi = log10(e) ~ 0.43.
+	phi1, ok := p.Phi("a", last.Add(10*time.Millisecond))
+	if !ok {
+		t.Fatal("phi not ready")
+	}
+	if phi1 < 0.4 || phi1 > 0.5 {
+		t.Fatalf("phi at 1x mean = %v, want ~0.434", phi1)
+	}
+	// Ten means of silence: ~4.34. Clearly elevated but below the
+	// default suspicion threshold of 8.
+	phi10, _ := p.Phi("a", last.Add(100*time.Millisecond))
+	if phi10 < 4.2 || phi10 > 4.5 {
+		t.Fatalf("phi at 10x mean = %v, want ~4.34", phi10)
+	}
+	// Twenty means: ~8.69, past the threshold — a real crash accrues
+	// suspicion quickly at steady heartbeat rates.
+	phi20, _ := p.Phi("a", last.Add(200*time.Millisecond))
+	if phi20 < 8.5 || phi20 > 9.0 {
+		t.Fatalf("phi at 20x mean = %v, want ~8.69", phi20)
+	}
+}
+
+func TestPhiAdaptsToSlowerRhythm(t *testing.T) {
+	p := New(4, 0)
+	base := time.Unix(0, 0)
+	// Fast rhythm first, then the window slides over a slower one.
+	last := feed(p, "a", base, 10*time.Millisecond, 5)
+	last = feed(p, "a", last.Add(50*time.Millisecond), 50*time.Millisecond, 5)
+
+	// 100ms of silence is only 2 means of the new 50ms rhythm.
+	phi, ok := p.Phi("a", last.Add(100*time.Millisecond))
+	if !ok {
+		t.Fatal("phi not ready")
+	}
+	if phi > 1.0 {
+		t.Fatalf("phi = %v after window adapted to 50ms rhythm, want < 1", phi)
+	}
+}
+
+func TestPhiMinMeanFloorsBurst(t *testing.T) {
+	p := New(8, 10*time.Millisecond)
+	base := time.Unix(0, 0)
+	// A heal-time burst delivers queued heartbeats 100µs apart; without
+	// the floor the mean would collapse and 50ms of normal silence would
+	// read as phi > 20.
+	last := feed(p, "a", base, 100*time.Microsecond, 8)
+	phi, ok := p.Phi("a", last.Add(50*time.Millisecond))
+	if !ok {
+		t.Fatal("phi not ready")
+	}
+	if phi > 2.5 {
+		t.Fatalf("phi = %v with 10ms floor, want ~2.17", phi)
+	}
+}
+
+func TestForgetClearsHistory(t *testing.T) {
+	p := New(8, 0)
+	base := time.Unix(0, 0)
+	last := feed(p, "a", base, 10*time.Millisecond, 10)
+	p.Forget("a")
+	if _, ok := p.Phi("a", last.Add(time.Second)); ok {
+		t.Fatal("phi ready after Forget")
+	}
+	// A re-incarnated peer starts fresh: the long down-time gap must not
+	// count as an interval.
+	rebirth := last.Add(10 * time.Second)
+	p.Heartbeat("a", rebirth)
+	p.Heartbeat("a", rebirth.Add(10*time.Millisecond))
+	p.Heartbeat("a", rebirth.Add(20*time.Millisecond))
+	phi, ok := p.Phi("a", rebirth.Add(30*time.Millisecond))
+	if !ok {
+		t.Fatal("phi not ready after rebirth")
+	}
+	if phi > 1.0 {
+		t.Fatalf("phi = %v after fresh window, want small", phi)
+	}
+}
+
+func TestSnapshotAndReset(t *testing.T) {
+	p := New(8, 0)
+	base := time.Unix(0, 0)
+	feed(p, "a", base, 10*time.Millisecond, 5)
+	feed(p, "b", base, 20*time.Millisecond, 5)
+	p.Heartbeat("c", base) // not enough history
+
+	snap := p.Snapshot(base.Add(200 * time.Millisecond))
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d peers, want 2: %v", len(snap), snap)
+	}
+	if snap["a"] <= snap["b"] {
+		t.Fatalf("peer with faster rhythm should accrue more suspicion: a=%v b=%v", snap["a"], snap["b"])
+	}
+	p.Reset()
+	if got := p.Snapshot(base.Add(time.Second)); len(got) != 0 {
+		t.Fatalf("snapshot after Reset = %v, want empty", got)
+	}
+}
+
+func TestNonPositiveIntervalsIgnored(t *testing.T) {
+	p := New(8, 0)
+	base := time.Unix(0, 0)
+	last := feed(p, "a", base, 10*time.Millisecond, 5)
+	// Duplicate delivery of the same heartbeat and a reordered stale one
+	// must not poison the window with zero/negative intervals.
+	p.Heartbeat("a", last)
+	p.Heartbeat("a", last.Add(-5*time.Millisecond))
+	phi, ok := p.Phi("a", last.Add(10*time.Millisecond))
+	if !ok {
+		t.Fatal("phi not ready")
+	}
+	if phi < 0.4 || phi > 0.5 {
+		t.Fatalf("phi = %v after dup/reorder noise, want ~0.434", phi)
+	}
+}
+
+func TestWindowSlides(t *testing.T) {
+	p := New(4, 0)
+	base := time.Unix(0, 0)
+	// 100 samples at 10ms through a window of 4: sum must track the
+	// window, not the lifetime.
+	last := feed(p, "a", base, 10*time.Millisecond, 100)
+	phi, ok := p.Phi("a", last.Add(10*time.Millisecond))
+	if !ok {
+		t.Fatal("phi not ready")
+	}
+	if phi < 0.4 || phi > 0.5 {
+		t.Fatalf("phi = %v after long run, want ~0.434", phi)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	p := New(16, 0)
+	base := time.Unix(0, 0)
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			peer := fmt.Sprintf("p%d", g%2)
+			for i := 0; i < 1000; i++ {
+				p.Heartbeat(peer, base.Add(time.Duration(i)*time.Millisecond))
+				p.Phi(peer, base.Add(time.Duration(i+1)*time.Millisecond))
+				p.Snapshot(base.Add(time.Duration(i) * time.Millisecond))
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+}

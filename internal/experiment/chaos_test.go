@@ -1,0 +1,136 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"versadep/internal/faults/chaos"
+)
+
+func chaosOpts() Options {
+	o := DefaultOptions()
+	o.StateBytes = 2048
+	return o
+}
+
+func TestChaosCampaignHoldsInvariants(t *testing.T) {
+	// The acceptance scenario in miniature: all six fault classes composed
+	// under a fixed seed, every run graded against the four hard invariants.
+	// (CI's chaos-smoke runs the same campaign at >=20 runs.)
+	cc := ChaosConfig{
+		Spec:     chaos.DefaultSpec(),
+		Seed:     7,
+		Runs:     3,
+		Duration: 700 * time.Millisecond,
+		Replicas: 3,
+		Clients:  2,
+	}
+	report, err := RunChaosCampaign(chaosOpts(), cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Passed() {
+		t.Fatalf("campaign violations:\n  %s", strings.Join(report.Violations, "\n  "))
+	}
+	for i, run := range report.Runs {
+		if run.Acked == 0 {
+			t.Fatalf("run %d acked no requests — the workload never exercised the faults", i)
+		}
+		if len(run.StepsFired) == 0 {
+			t.Fatalf("run %d fired no fault steps", i)
+		}
+		if run.StepsFired[len(run.StepsFired)-1] != "chaos-heal-all" {
+			t.Fatalf("run %d did not finish with heal-all: %v", i, run.StepsFired)
+		}
+	}
+	// Corruption must have been both injected and caught: every frame the
+	// fabric damaged that reached a receiver was dropped by a checksum, and
+	// none of those drops broke an invariant above.
+	var wire, dropped int64
+	for _, run := range report.Runs {
+		wire += run.CorruptWire
+		dropped += run.CorruptDropped
+	}
+	if wire == 0 {
+		t.Fatal("no frames corrupted across the campaign — corrupt fault never fired")
+	}
+	if dropped == 0 {
+		t.Fatal("corrupted frames reached receivers but no checksum drops recorded")
+	}
+}
+
+func TestChaosCampaignReproducible(t *testing.T) {
+	// Same seed, same campaign: the fault script fired in each run must be
+	// step-for-step identical across two executions.
+	cc := ChaosConfig{
+		Spec:     chaos.DefaultSpec(),
+		Seed:     21,
+		Runs:     2,
+		Duration: 500 * time.Millisecond,
+		Replicas: 3,
+		Clients:  1,
+	}
+	a, err := RunChaosCampaign(chaosOpts(), cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunChaosCampaign(chaosOpts(), cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Runs) != len(b.Runs) {
+		t.Fatalf("run counts differ: %d vs %d", len(a.Runs), len(b.Runs))
+	}
+	for i := range a.Runs {
+		if a.Runs[i].Seed != b.Runs[i].Seed {
+			t.Fatalf("run %d seeds differ: %d vs %d", i, a.Runs[i].Seed, b.Runs[i].Seed)
+		}
+		sa := strings.Join(a.Runs[i].StepsFired, ",")
+		sb := strings.Join(b.Runs[i].StepsFired, ",")
+		if sa != sb {
+			t.Fatalf("run %d fault scripts differ:\n  %s\n  %s", i, sa, sb)
+		}
+	}
+}
+
+func TestMeasureFalseSuspicionCleanUnderPerturbation(t *testing.T) {
+	// Loss, duplication, reordering, corruption and a timing fault — but
+	// nothing dies: the accrual detector must suspect no one.
+	cc := ChaosConfig{
+		Spec:     chaos.DefaultSpec(), // Crashes/Partitions stripped inside
+		Seed:     5,
+		Runs:     2,
+		Duration: 500 * time.Millisecond,
+		Replicas: 3,
+		Clients:  1,
+	}
+	suspectRuns, total, err := MeasureFalseSuspicion(chaosOpts(), cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 2 {
+		t.Fatalf("ran %d runs, want 2", total)
+	}
+	if suspectRuns != 0 {
+		t.Fatalf("%d/%d perturbation-only runs raised a suspicion — false positives", suspectRuns, total)
+	}
+}
+
+func TestMeasureDetectionLatency(t *testing.T) {
+	samples, err := MeasureDetectionLatency(chaosOpts(), 3, 2, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 2 {
+		t.Fatalf("%d samples, want 2", len(samples))
+	}
+	for _, s := range samples {
+		// The accrual floor means detection can't beat SuspectAfter (90ms);
+		// the budget test in internal/gcs holds the upper bound tighter —
+		// here we just require sanity.
+		if s.Latency < 90*time.Millisecond || s.Latency > 3*time.Second {
+			t.Fatalf("detection latency %v outside sane range", s.Latency)
+		}
+	}
+}

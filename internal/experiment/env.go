@@ -60,15 +60,27 @@ type Options struct {
 	// default). Fault-injection runs raise it so scripted partitions
 	// exercise transfer resume instead of view exclusion.
 	SuspectAfter time.Duration
+	// PhiThreshold overrides the accrual failure detector: positive sets
+	// the suspicion threshold, negative disables accrual (fixed
+	// SuspectAfter silence only), zero keeps the stock default.
+	PhiThreshold float64
 }
 
 // gcsConfig returns the GCS override implied by the options (nil = stock).
 func (o Options) gcsConfig() *gcs.Config {
-	if o.SuspectAfter <= 0 {
+	if o.SuspectAfter <= 0 && o.PhiThreshold == 0 {
 		return nil
 	}
 	g := gcs.DefaultConfig()
-	g.SuspectAfter = o.SuspectAfter
+	if o.SuspectAfter > 0 {
+		g.SuspectAfter = o.SuspectAfter
+	}
+	switch {
+	case o.PhiThreshold > 0:
+		g.PhiThreshold = o.PhiThreshold
+	case o.PhiThreshold < 0:
+		g.PhiThreshold = 0
+	}
 	return &g
 }
 

@@ -3,7 +3,10 @@ package experiment
 import (
 	"fmt"
 	"sync"
+	"time"
 
+	"versadep/internal/faults"
+	"versadep/internal/faults/chaos"
 	"versadep/internal/monitor"
 	"versadep/internal/policy"
 	"versadep/internal/replication"
@@ -35,6 +38,25 @@ func NewScenario(o Options, style replication.Style, replicas, clients int,
 
 // Close shuts the scenario down.
 func (s *Scenario) Close() { s.e.close() }
+
+// Chaos parses a "SPEC[:SEED]" chaos argument (chaos.ParseSpec syntax)
+// and launches the resulting deterministic fault schedule against the
+// scenario's fabric over the given window, targeting the current replica
+// set. It returns a channel closed when the schedule (including its final
+// heal-all step) has run, plus the schedule's step names for display.
+func (s *Scenario) Chaos(arg string, window time.Duration) (<-chan struct{}, []string, error) {
+	spec, seed, err := chaos.ParseSpec(arg)
+	if err != nil {
+		return nil, nil, err
+	}
+	plan := spec.Plan(seed, chaos.Targets{Replicas: s.Members(), Duration: window})
+	var names []string
+	for _, st := range plan.Steps() {
+		names = append(names, fmt.Sprintf("%v %s", st.After, st.Name))
+	}
+	done := faults.NewInjector(s.e.net).Run(plan)
+	return done, names, nil
+}
 
 // RunClosedLoop drives every client through the configured request cycle.
 // onReply observes the first client's replies (request index, virtual

@@ -1,0 +1,272 @@
+// Package chaos turns the repertoire of individual fault actions into
+// reproducible campaigns: a Spec names the fault classes to compose and
+// their intensities, and Plan expands it — under a seed — into a concrete
+// timed schedule of injections and paired heals against a replica group.
+//
+// The paper's thesis is that dependability must be tuned against the fault
+// environment actually observed; the campaign engine is the test-side
+// counterpart: it manufactures a controlled fault environment covering the
+// full §3.1 taxonomy (crash faults, transient communication faults —
+// loss, duplication, reordering, corruption, partitions — and timing
+// faults) and makes it replayable bit-for-bit from its seed, so a failing
+// run is a bug report, not an anecdote.
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"versadep/internal/faults"
+	"versadep/internal/simnet"
+	"versadep/internal/vtime"
+)
+
+// Spec selects fault classes and intensities for a campaign. The zero
+// value injects nothing; DefaultSpec composes every class at moderate
+// intensity.
+type Spec struct {
+	// Drop, Dup, Reorder, Corrupt are per-message probabilities applied
+	// fabric-wide for a window of the campaign (0 disables the class).
+	Drop    float64
+	Dup     float64
+	Reorder float64
+	Corrupt float64
+	// Delay is a virtual-time performance fault added to one replica's
+	// outbound links for a window (0 disables).
+	Delay vtime.Duration
+	// Partitions is how many transient partition blips to script.
+	Partitions int
+	// Crashes is how many replicas to kill (permanently) during the
+	// campaign. Plan caps it so at least two replicas survive.
+	Crashes int
+}
+
+// DefaultSpec composes all fault classes at intensities a healthy group
+// rides out: losses within retransmission budgets, blips within detector
+// tolerance, and enough survivors to converge.
+func DefaultSpec() Spec {
+	return Spec{
+		Drop:       0.10,
+		Dup:        0.10,
+		Reorder:    0.10,
+		Corrupt:    0.05,
+		Delay:      2 * vtime.Millisecond,
+		Partitions: 1,
+		Crashes:    1,
+	}
+}
+
+// String renders the spec in the form ParseSpec accepts.
+func (s Spec) String() string {
+	var parts []string
+	add := func(k string, v float64) {
+		if v > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%g", k, v))
+		}
+	}
+	add("drop", s.Drop)
+	add("dup", s.Dup)
+	add("reorder", s.Reorder)
+	add("corrupt", s.Corrupt)
+	if s.Delay > 0 {
+		parts = append(parts, fmt.Sprintf("delay=%g", float64(s.Delay)/float64(vtime.Millisecond)))
+	}
+	if s.Partitions > 0 {
+		parts = append(parts, fmt.Sprintf("partition=%d", s.Partitions))
+	}
+	if s.Crashes > 0 {
+		parts = append(parts, fmt.Sprintf("crash=%d", s.Crashes))
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseSpec parses "SPEC" or "SPEC:SEED" (the -chaos flag syntax). SPEC is
+// "all", "none", or a comma list of class[=value] terms: drop, dup,
+// reorder, corrupt (probabilities), delay (milliseconds), partition and
+// crash (counts). A bare class takes its DefaultSpec intensity. The seed
+// defaults to 1.
+func ParseSpec(arg string) (Spec, uint64, error) {
+	spec := arg
+	seed := uint64(1)
+	if i := strings.LastIndex(arg, ":"); i >= 0 {
+		var err error
+		seed, err = strconv.ParseUint(arg[i+1:], 10, 64)
+		if err != nil {
+			return Spec{}, 0, fmt.Errorf("chaos: bad seed %q: %w", arg[i+1:], err)
+		}
+		spec = arg[:i]
+	}
+	switch spec {
+	case "", "all":
+		return DefaultSpec(), seed, nil
+	case "none":
+		return Spec{}, seed, nil
+	}
+	def := DefaultSpec()
+	var out Spec
+	for _, term := range strings.Split(spec, ",") {
+		name, valStr, hasVal := strings.Cut(strings.TrimSpace(term), "=")
+		val := -1.0
+		if hasVal {
+			var err error
+			val, err = strconv.ParseFloat(valStr, 64)
+			if err != nil || val < 0 {
+				return Spec{}, 0, fmt.Errorf("chaos: bad value in %q", term)
+			}
+		}
+		pick := func(d float64) float64 {
+			if hasVal {
+				return val
+			}
+			return d
+		}
+		switch name {
+		case "drop":
+			out.Drop = pick(def.Drop)
+		case "dup":
+			out.Dup = pick(def.Dup)
+		case "reorder":
+			out.Reorder = pick(def.Reorder)
+		case "corrupt":
+			out.Corrupt = pick(def.Corrupt)
+		case "delay":
+			out.Delay = vtime.Duration(pick(float64(def.Delay) / float64(vtime.Millisecond)) * float64(vtime.Millisecond))
+		case "partition":
+			out.Partitions = int(pick(float64(def.Partitions)))
+		case "crash":
+			out.Crashes = int(pick(float64(def.Crashes)))
+		default:
+			return Spec{}, 0, fmt.Errorf("chaos: unknown fault class %q", name)
+		}
+	}
+	return out, seed, nil
+}
+
+// Targets scopes a plan to a concrete system.
+type Targets struct {
+	// Replicas are the group member addresses. The first is never crashed
+	// (the harness anchors observation on it), and crashes leave at least
+	// two replicas alive.
+	Replicas []string
+	// Duration is the campaign window; every fault is injected and (for
+	// the transient classes) healed inside it, with a final heal-all step
+	// at the end.
+	Duration time.Duration
+}
+
+// Plan expands the spec into a deterministic fault schedule: identical
+// (spec, seed, targets) always yield an identical script — same steps,
+// same names, same times. Transient classes get paired inject/heal steps;
+// a trailing chaos-heal-all clears every lingering probability, delay and
+// partition so the post-campaign convergence check runs on a clean fabric.
+func (s Spec) Plan(seed uint64, t Targets) *faults.Schedule {
+	r := vtime.NewRand(seed ^ 0x9e3779b97f4a7c15)
+	d := t.Duration
+	if d <= 0 {
+		d = time.Second
+	}
+	type timed struct {
+		at   time.Duration
+		name string
+		act  faults.Action
+	}
+	var steps []timed
+	at := func(when time.Duration, name string, act faults.Action) {
+		steps = append(steps, timed{when, name, act})
+	}
+	// window picks an onset in the first half and a span covering a
+	// quarter to a half of the campaign, clipped inside it.
+	window := func() (on, off time.Duration) {
+		on = time.Duration(r.Float64() * float64(d) / 2)
+		span := d/4 + time.Duration(r.Float64()*float64(d)/4)
+		off = on + span
+		if off > d*9/10 {
+			off = d * 9 / 10
+		}
+		return on, off
+	}
+
+	if s.Drop > 0 {
+		on, off := window()
+		at(on, fmt.Sprintf("chaos-drop-on(%g)", s.Drop), faults.Drop("*", "*", s.Drop))
+		at(off, "chaos-drop-off", faults.Drop("*", "*", 0))
+	}
+	if s.Dup > 0 {
+		on, off := window()
+		at(on, fmt.Sprintf("chaos-dup-on(%g)", s.Dup), faults.Duplicate("*", "*", s.Dup))
+		at(off, "chaos-dup-off", faults.Duplicate("*", "*", 0))
+	}
+	if s.Reorder > 0 {
+		on, off := window()
+		at(on, fmt.Sprintf("chaos-reorder-on(%g)", s.Reorder), faults.Reorder("*", "*", s.Reorder))
+		at(off, "chaos-reorder-off", faults.Reorder("*", "*", 0))
+	}
+	if s.Corrupt > 0 {
+		on, off := window()
+		at(on, fmt.Sprintf("chaos-corrupt-on(%g)", s.Corrupt), faults.Corrupt("*", "*", s.Corrupt))
+		at(off, "chaos-corrupt-off", faults.Corrupt("*", "*", 0))
+	}
+	if s.Delay > 0 && len(t.Replicas) > 0 {
+		victim := t.Replicas[r.Intn(len(t.Replicas))]
+		on, off := window()
+		at(on, fmt.Sprintf("chaos-delay-on(%s)", victim), faults.Delay(victim, "*", s.Delay))
+		at(off, fmt.Sprintf("chaos-delay-off(%s)", victim), faults.Delay(victim, "*", 0))
+	}
+	for i := 0; i < s.Partitions && len(t.Replicas) > 0; i++ {
+		victim := t.Replicas[r.Intn(len(t.Replicas))]
+		on := time.Duration(r.Float64() * float64(d) * 3 / 4)
+		// Blips span the detector's interesting range: some ride inside
+		// the accrual tolerance, some long enough to force an exclusion
+		// and rejoin.
+		span := 80*time.Millisecond + time.Duration(r.Float64()*float64(270*time.Millisecond))
+		off := on + span
+		if off > d*9/10 {
+			off = d * 9 / 10
+		}
+		at(on, fmt.Sprintf("chaos-partition(%s)", victim), faults.Partition(victim, i+1))
+		at(off, fmt.Sprintf("chaos-partition-heal(%s)", victim), faults.HealAddr(victim))
+	}
+	if s.Crashes > 0 && len(t.Replicas) > 2 {
+		// Sample victims without replacement from everyone but the
+		// anchor, keeping at least two replicas alive.
+		pool := append([]string(nil), t.Replicas[1:]...)
+		n := s.Crashes
+		if max := len(t.Replicas) - 2; n > max {
+			n = max
+		}
+		for i := 0; i < n; i++ {
+			j := r.Intn(len(pool))
+			victim := pool[j]
+			pool = append(pool[:j], pool[j+1:]...)
+			when := d/4 + time.Duration(r.Float64()*float64(d)/2)
+			at(when, fmt.Sprintf("chaos-crash(%s)", victim), faults.Crash(victim))
+		}
+	}
+
+	// Final heal-all: clear partitions and every transient dial, so
+	// convergence grading starts from a clean fabric regardless of which
+	// windows were still open.
+	at(d, "chaos-heal-all", func(n *simnet.Network) {
+		n.HealPartitions()
+		n.SetDropProb("*", "*", 0)
+		n.SetDupProb("*", "*", 0)
+		n.SetReorderProb("*", "*", 0)
+		n.SetCorruptProb("*", "*", 0)
+		for _, rep := range t.Replicas {
+			n.SetExtraDelay(rep, "*", 0)
+		}
+	})
+
+	sort.SliceStable(steps, func(i, j int) bool { return steps[i].at < steps[j].at })
+	var sched faults.Schedule
+	for _, st := range steps {
+		sched.At(st.at, st.name, st.act)
+	}
+	return &sched
+}

@@ -1,0 +1,133 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+
+	"versadep/internal/vtime"
+)
+
+func targets() Targets {
+	return Targets{
+		Replicas: []string{"replica-a", "replica-b", "replica-c", "replica-d"},
+		Duration: time.Second,
+	}
+}
+
+func TestPlanDeterministic(t *testing.T) {
+	// The reproducibility contract: identical (spec, seed, targets) yield an
+	// identical script — same step names at the same offsets, in the same
+	// order.
+	spec := DefaultSpec()
+	a := spec.Plan(42, targets()).Steps()
+	b := spec.Plan(42, targets()).Steps()
+	if len(a) == 0 {
+		t.Fatal("empty plan from DefaultSpec")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("plan lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].After != b[i].After {
+			t.Fatalf("step %d differs: %q@%v vs %q@%v", i, a[i].Name, a[i].After, b[i].Name, b[i].After)
+		}
+	}
+}
+
+func TestPlanSeedsDiffer(t *testing.T) {
+	spec := DefaultSpec()
+	a := spec.Plan(1, targets()).Steps()
+	b := spec.Plan(2, targets()).Steps()
+	same := len(a) == len(b)
+	if same {
+		for i := range a {
+			if a[i].Name != b[i].Name || a[i].After != b[i].After {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestPlanOrderedAndHealed(t *testing.T) {
+	spec := DefaultSpec()
+	steps := spec.Plan(7, targets()).Steps()
+	for i := 1; i < len(steps); i++ {
+		if steps[i].After < steps[i-1].After {
+			t.Fatalf("steps out of order: %q@%v after %q@%v",
+				steps[i].Name, steps[i].After, steps[i-1].Name, steps[i-1].After)
+		}
+	}
+	last := steps[len(steps)-1]
+	if last.Name != "chaos-heal-all" {
+		t.Fatalf("final step %q, want chaos-heal-all", last.Name)
+	}
+	if last.After != time.Second {
+		t.Fatalf("heal-all at %v, want campaign end", last.After)
+	}
+}
+
+func TestPlanNeverCrashesAnchorOrMajority(t *testing.T) {
+	spec := Spec{Crashes: 10}
+	for seed := uint64(0); seed < 50; seed++ {
+		steps := spec.Plan(seed, targets()).Steps()
+		crashes := 0
+		for _, st := range steps {
+			if st.Name == "chaos-crash(replica-a)" {
+				t.Fatalf("seed %d: plan crashes the anchor replica", seed)
+			}
+			if len(st.Name) > 11 && st.Name[:11] == "chaos-crash" {
+				crashes++
+			}
+		}
+		if crashes > 2 { // 4 replicas, at least 2 must survive
+			t.Fatalf("seed %d: %d crashes scripted against 4 replicas", seed, crashes)
+		}
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		arg  string
+		want Spec
+		seed uint64
+	}{
+		{"all", DefaultSpec(), 1},
+		{"", DefaultSpec(), 1},
+		{"none", Spec{}, 1},
+		{"all:77", DefaultSpec(), 77},
+		{"drop=0.2,crash=2:9", Spec{Drop: 0.2, Crashes: 2}, 9},
+		{"dup,reorder", Spec{Dup: 0.10, Reorder: 0.10}, 1},
+		{"corrupt=0.5,delay=3", Spec{Corrupt: 0.5, Delay: 3 * vtime.Millisecond}, 1},
+		{"partition=2", Spec{Partitions: 2}, 1},
+	}
+	for _, c := range cases {
+		got, seed, err := ParseSpec(c.arg)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", c.arg, err)
+		}
+		if got != c.want || seed != c.seed {
+			t.Fatalf("ParseSpec(%q) = %+v seed %d, want %+v seed %d", c.arg, got, seed, c.want, c.seed)
+		}
+	}
+	for _, bad := range []string{"bogus", "drop=x", "all:notanumber", "crash=-1"} {
+		if _, _, err := ParseSpec(bad); err == nil {
+			t.Fatalf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func TestSpecStringRoundTrips(t *testing.T) {
+	for _, spec := range []Spec{DefaultSpec(), {}, {Drop: 0.25, Partitions: 1}, {Delay: 5 * vtime.Millisecond, Crashes: 2}} {
+		got, seed, err := ParseSpec(spec.String())
+		if err != nil {
+			t.Fatalf("round trip %q: %v", spec.String(), err)
+		}
+		if got != spec || seed != 1 {
+			t.Fatalf("round trip %q = %+v, want %+v", spec.String(), got, spec)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package chaos
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"versadep/internal/transport"
+	"versadep/internal/vtime"
+)
+
+// Wire wraps a live transport endpoint and flips one bit in outbound
+// payloads with a fixed probability — byte corruption injected between the
+// protocol stack and the wire, where no simulated fabric exists to do it.
+// The receiving demux's checksum seal is expected to catch every damaged
+// frame and drop it; Corrupted reports how many frames were damaged so a
+// campaign can reconcile the two counters.
+//
+// Corruption happens on a copy, so retransmission buffers held by upper
+// layers keep the pristine bytes.
+type Wire struct {
+	inner transport.MultiEndpoint
+	prob  float64
+
+	mu   sync.Mutex
+	rand *vtime.Rand
+
+	corrupted atomic.Int64
+}
+
+// NewWire wraps ep, corrupting each outbound payload with probability p
+// under the given seed.
+func NewWire(ep transport.MultiEndpoint, p float64, seed uint64) *Wire {
+	return &Wire{inner: ep, prob: p, rand: vtime.NewRand(seed ^ 0xc2b2ae3d27d4eb4f)}
+}
+
+// Corrupted reports how many outbound payloads were damaged.
+func (w *Wire) Corrupted() int64 { return w.corrupted.Load() }
+
+// mangle returns payload or a bit-flipped copy of it.
+func (w *Wire) mangle(payload []byte) []byte {
+	if len(payload) == 0 {
+		return payload
+	}
+	w.mu.Lock()
+	hit := w.rand.Float64() < w.prob
+	var idx, bit int
+	if hit {
+		idx = w.rand.Intn(len(payload))
+		bit = w.rand.Intn(8)
+	}
+	w.mu.Unlock()
+	if !hit {
+		return payload
+	}
+	out := make([]byte, len(payload))
+	copy(out, payload)
+	out[idx] ^= byte(1) << bit
+	w.corrupted.Add(1)
+	return out
+}
+
+// Addr returns the underlying endpoint address.
+func (w *Wire) Addr() string { return w.inner.Addr() }
+
+// ExcludeFraming forwards the framing declaration to the wrapped endpoint
+// when it accounts bytes (simnet), so wrapping does not disturb the
+// calibrated byte accounting.
+func (w *Wire) ExcludeFraming(n int) {
+	if fx, ok := w.inner.(interface{ ExcludeFraming(bytes int) }); ok {
+		fx.ExcludeFraming(n)
+	}
+}
+
+// Send forwards payload, possibly corrupted.
+func (w *Wire) Send(to string, payload []byte, sentAt vtime.Time) error {
+	return w.inner.Send(to, w.mangle(payload), sentAt)
+}
+
+// SendMulticast forwards a multicast, possibly corrupted (all receivers
+// see the same damage, as with a damaged physical multicast).
+func (w *Wire) SendMulticast(tos []string, payload []byte, sentAt vtime.Time) error {
+	return w.inner.SendMulticast(tos, w.mangle(payload), sentAt)
+}
+
+// SendControl forwards a control send, possibly corrupted.
+func (w *Wire) SendControl(to string, payload []byte, sentAt vtime.Time) error {
+	return w.inner.SendControl(to, w.mangle(payload), sentAt)
+}
+
+// Recv returns the inbound stream untouched.
+func (w *Wire) Recv() <-chan transport.Message { return w.inner.Recv() }
+
+// Close closes the underlying endpoint.
+func (w *Wire) Close() error { return w.inner.Close() }
+
+var _ transport.MultiEndpoint = (*Wire)(nil)

@@ -36,6 +36,28 @@ func Delay(from, to string, d vtime.Duration) Action {
 	return func(n *simnet.Network) { n.SetExtraDelay(from, to, d) }
 }
 
+// Duplicate sets the probability that a message on a link is delivered
+// twice ("*" wildcards allowed) — the duplicated-datagram fault that
+// at-least-once retransmission layers already create, injected directly to
+// stress receiver-side dedup.
+func Duplicate(from, to string, p float64) Action {
+	return func(n *simnet.Network) { n.SetDupProb(from, to, p) }
+}
+
+// Reorder sets the probability that a message on a link is displaced out
+// of FIFO order ("*" wildcards allowed).
+func Reorder(from, to string, p float64) Action {
+	return func(n *simnet.Network) { n.SetReorderProb(from, to, p) }
+}
+
+// Corrupt sets the probability that a message on a link arrives with a
+// flipped payload bit ("*" wildcards allowed). Receivers are expected to
+// detect the damage via frame checksums and drop the message, converting
+// corruption into loss.
+func Corrupt(from, to string, p float64) Action {
+	return func(n *simnet.Network) { n.SetCorruptProb(from, to, p) }
+}
+
 // Partition moves addr into partition id.
 func Partition(addr string, id int) Action {
 	return func(n *simnet.Network) { n.Partition(addr, id) }
@@ -89,6 +111,12 @@ func (s *Schedule) At(d time.Duration, name string, a Action) *Schedule {
 
 // Len returns the number of steps.
 func (s *Schedule) Len() int { return len(s.steps) }
+
+// Steps returns a copy of the script, for logging and for comparing two
+// generated schedules (the chaos planner's determinism contract).
+func (s *Schedule) Steps() []Step {
+	return append([]Step(nil), s.steps...)
+}
 
 // Injector runs schedules against a fabric.
 type Injector struct {

@@ -28,6 +28,9 @@ package gcs
 
 import (
 	"errors"
+	"fmt"
+	"strconv"
+	"strings"
 	"time"
 
 	"versadep/internal/trace"
@@ -171,14 +174,48 @@ type Config struct {
 	// HBInterval is the heartbeat period (real time).
 	HBInterval time.Duration
 	// SuspectAfter is how long without a heartbeat before a member is
-	// suspected crashed (real time).
+	// suspected crashed (real time). With the accrual detector enabled it
+	// acts as a floor: suspicion additionally requires the peer's phi to
+	// reach PhiThreshold.
 	SuspectAfter time.Duration
+	// PhiThreshold enables phi-accrual failure detection when positive: a
+	// silent member is suspected only once its accrued suspicion level
+	// reaches this value (phi = t means the silence has probability at
+	// most 10^-t of being a normal delay). Zero or negative falls back to
+	// the fixed SuspectAfter timeout alone.
+	PhiThreshold float64
+	// PhiWindow is the accrual detector's inter-arrival sample window per
+	// peer (0 = detector.DefaultWindow).
+	PhiWindow int
 	// ResendInterval is the retransmission period for unacknowledged
 	// traffic (real time).
 	ResendInterval time.Duration
 	// PrepareTimeout bounds how long a view-change proposer waits for
 	// flush acknowledgements before re-proposing without the laggards.
 	PrepareTimeout time.Duration
+	// MinorityGrace tunes the primary-partition rule's consistency/
+	// availability tradeoff. A member whose unsuspected survivor set loses
+	// primacy (no majority of the view, nor exactly half including the
+	// view's lowest-ranked member) stalls instead of proposing a view:
+	// under a transient partition, renewed contact rescinds the suspicion
+	// and the stall ends with the group intact. If primacy is not restored
+	// within MinorityGrace the member continues anyway and proposes its
+	// fragment view — the peers are treated as crashed, trading split-brain
+	// exposure under partitions longer than the grace for availability
+	// (the paper's degraded modes: a lone survivor still serves). Zero or
+	// negative never continues (strict primary-partition membership).
+	MinorityGrace time.Duration
+	// DataGapTimeout bounds how long the sequencer holds an external
+	// client's out-of-order submission behind a missing OSeq before
+	// declaring the gap abandoned and sequencing past it. A gap from an
+	// external origin goes permanent when a prior coordinator acked the
+	// missing submission (stopping the client's retransmission) but was
+	// excluded before its sequencing survived the view change; clients
+	// resend every pending frame each ResendInterval, so a gap that
+	// outlives several intervals will never fill. Skipping is safe for
+	// clients because upper-layer retries re-carry the lost request under
+	// a fresh OSeq. Zero or negative disables skipping (strict FIFO).
+	DataGapTimeout time.Duration
 	// HistorySize is how many sequenced messages each member retains for
 	// retransmission and view-change recovery.
 	HistorySize int
@@ -205,12 +242,38 @@ func DefaultConfig() Config {
 	return Config{
 		HBInterval:     15 * time.Millisecond,
 		SuspectAfter:   90 * time.Millisecond,
+		PhiThreshold:   8,
+		PhiWindow:      32,
 		ResendInterval: 30 * time.Millisecond,
 		PrepareTimeout: 200 * time.Millisecond,
+		MinorityGrace:  450 * time.Millisecond,
+		DataGapTimeout: 250 * time.Millisecond,
 		HistorySize:    8192,
 		Model:          vtime.DefaultCostModel(),
 		Seed:           1,
 	}
+}
+
+// ParseDetector parses the CLI failure-detector syntax shared by vdnode
+// and vdsim: "phi" (accrual detection at the default threshold),
+// "phi:THRESH" (accrual at the given threshold), or "timeout" (fixed
+// SuspectAfter silence window only). It returns the PhiThreshold value to
+// set on a Config: zero disables accrual, positive enables it.
+func ParseDetector(arg string) (float64, error) {
+	switch arg {
+	case "timeout":
+		return 0, nil
+	case "phi":
+		return DefaultConfig().PhiThreshold, nil
+	}
+	if rest, ok := strings.CutPrefix(arg, "phi:"); ok {
+		t, err := strconv.ParseFloat(rest, 64)
+		if err != nil || t <= 0 {
+			return 0, fmt.Errorf("gcs: bad phi threshold %q (want a positive number)", rest)
+		}
+		return t, nil
+	}
+	return 0, fmt.Errorf("gcs: unknown detector %q (want \"phi\", \"phi:THRESH\", or \"timeout\")", arg)
 }
 
 // Errors returned by the GCS.

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"versadep/internal/detector"
 	"versadep/internal/trace"
 	"versadep/internal/trace/span"
 	"versadep/internal/transport"
@@ -37,6 +38,9 @@ type Member struct {
 	cNacks      *trace.Counter
 	cRetxDepth  *trace.Counter // high-water retransmit-queue depth
 	cRetransmit *trace.Counter
+	cPhiMax     *trace.Counter // high-water accrued suspicion, in milliphi
+	cMinority   *trace.Counter // proposals withheld for lack of a primary partition
+	cGapSkips   *trace.Counter // abandoned client OSeq gaps skipped by the sequencer
 	spans       *span.Recorder
 
 	// out delivers events to the application through an elastic queue so
@@ -76,6 +80,9 @@ type Member struct {
 	nextSeq  uint64
 	seqLocal map[string]uint64
 	dataHold map[string]map[uint64]*rxFrame // out-of-order submissions
+	// dataGapSince marks when an external origin's hold first stalled on a
+	// missing OSeq; after DataGapTimeout the sequencer skips the gap.
+	dataGapSince map[string]time.Time
 
 	// FIFO (reset per view).
 	fifoOut  uint64
@@ -95,9 +102,15 @@ type Member struct {
 	directSparse map[string]map[uint64]bool
 	dataAcked    map[uint64]bool // acks for my kData submissions (external use)
 
-	// Failure detection.
+	// Failure detection. det is nil when the accrual detector is disabled
+	// (PhiThreshold <= 0); lastHeard backs the fixed SuspectAfter floor
+	// either way.
 	lastHeard map[string]time.Time
 	suspects  map[string]bool
+	// minoritySince marks when the unsuspected survivor set lost primacy
+	// (see primaryPartition); zero while primacy holds.
+	minoritySince time.Time
+	det       *detector.Phi
 
 	// View change.
 	blocked      bool
@@ -171,6 +184,7 @@ func Open(conn, xconn transport.Conn, cfg Config) *Member {
 		seenData:     make(map[string]uint64),
 		seqLocal:     make(map[string]uint64),
 		dataHold:     make(map[string]map[uint64]*rxFrame),
+		dataGapSince: make(map[string]time.Time),
 		fifoSent:     make(map[uint64]*frame),
 		fifoExp:      make(map[string]uint64),
 		fifoHold:     make(map[string]map[uint64]*rxFrame),
@@ -187,12 +201,21 @@ func Open(conn, xconn transport.Conn, cfg Config) *Member {
 		leaveReqs:    make(map[string]bool),
 		now:          time.Now,
 	}
+	if cfg.PhiThreshold > 0 {
+		// Floor the fitted mean at half a heartbeat period: under load the
+		// frame rate is far denser than heartbeats, and the detector must
+		// not learn an expectation no idle group can meet.
+		m.det = detector.New(cfg.PhiWindow, cfg.HBInterval/2)
+	}
 	m.tr = cfg.Trace
 	m.cViews = cfg.Trace.Counter(trace.SubGCS, "view_changes")
 	m.cHBMisses = cfg.Trace.Counter(trace.SubGCS, "heartbeat_misses")
 	m.cNacks = cfg.Trace.Counter(trace.SubGCS, "nacks_sent")
 	m.cRetxDepth = cfg.Trace.Counter(trace.SubGCS, "retransmit_queue_depth")
 	m.cRetransmit = cfg.Trace.Counter(trace.SubGCS, "retransmits")
+	m.cPhiMax = cfg.Trace.Counter(trace.SubGCS, "phi_max_millis")
+	m.cMinority = cfg.Trace.Counter(trace.SubGCS, "minority_stalls")
+	m.cGapSkips = cfg.Trace.Counter(trace.SubGCS, "data_gap_skips")
 	m.spans = cfg.Trace.Spans()
 	if len(cfg.Seeds) == 0 {
 		m.installBootstrapView()
@@ -475,6 +498,16 @@ func (m *Member) resetPerViewState() {
 	m.causalSent = make(map[uint64]*frame)
 	m.causalHold = nil
 	nowT := m.now()
+	if m.det != nil {
+		// Departed peers take their interval history with them: a peer
+		// that later rejoins under the same name is a fresh incarnation
+		// and must not inherit the silence gap of its previous life.
+		for peer := range m.lastHeard {
+			if !m.view.Contains(peer) {
+				m.det.Forget(peer)
+			}
+		}
+	}
 	m.lastHeard = make(map[string]time.Time)
 	for _, mm := range m.view.Members {
 		m.lastHeard[mm] = nowT
@@ -484,4 +517,29 @@ func (m *Member) resetPerViewState() {
 			delete(m.suspects, s)
 		}
 	}
+	// A new view restarts the primacy clock: grace is measured against the
+	// membership that lost it, not carried across installs.
+	m.minoritySince = time.Time{}
+}
+
+// Suspects returns the members this daemon currently suspects crashed.
+func (m *Member) Suspects() []string {
+	var out []string
+	_ = m.do(func() {
+		for s, v := range m.suspects {
+			if v {
+				out = append(out, s)
+			}
+		}
+	})
+	return out
+}
+
+// PhiSnapshot returns every tracked peer's current accrued suspicion
+// level, or nil when the accrual detector is disabled.
+func (m *Member) PhiSnapshot() map[string]float64 {
+	if m.det == nil {
+		return nil
+	}
+	return m.det.Snapshot(m.now())
 }

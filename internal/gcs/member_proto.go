@@ -179,7 +179,20 @@ func (m *Member) handleMessage(msg transport.Message) {
 
 func (m *Member) handleFrame(msg transport.Message, f *frame) {
 	if msg.From != "" {
-		m.lastHeard[msg.From] = m.now()
+		nowT := m.now()
+		m.lastHeard[msg.From] = nowT
+		// Loopback frames are not evidence about the network: a member
+		// does not monitor itself.
+		if m.det != nil && msg.From != m.Addr() {
+			m.det.Heartbeat(msg.From, nowT)
+		}
+		// Renewed contact rescinds suspicion while no exclusion is in
+		// flight: a healed partition un-stalls both sides instead of
+		// leaving them deadlocked on stale verdicts.
+		if m.suspects[msg.From] && m.proposal == nil {
+			delete(m.suspects, msg.From)
+			m.tr.Event(trace.SubGCS, "unsuspect", m.deliverVT, int64(m.view.ID))
+		}
 	}
 	switch f.Kind {
 	case kHB:
@@ -338,6 +351,13 @@ func (m *Member) sequenceReady(origin string) {
 	if m.blocked || !m.installed {
 		return
 	}
+	if !m.primaryPartition() {
+		// A minority-side sequencer must not order new submissions: replies
+		// would acknowledge requests the primary partition never saw.
+		// Submissions stay buffered in dataHold and sequence after contact
+		// resumes (or die with this fragment when it rejoins).
+		return
+	}
 	hold := m.dataHold[origin]
 	// Drop stale buffered submissions that were sequenced meanwhile.
 	for oseq := range hold {
@@ -345,6 +365,7 @@ func (m *Member) sequenceReady(origin string) {
 			delete(hold, oseq)
 		}
 	}
+	m.maybeSkipDataGap(origin, hold)
 	for {
 		next := m.effectiveSeen(origin) + 1
 		rf, ok := hold[next]
@@ -376,6 +397,48 @@ func (m *Member) sequenceReady(origin string) {
 		m.ackData(f)
 		m.castData(sf)
 	}
+}
+
+// maybeSkipDataGap unwedges an external origin whose hold is stalled on a
+// missing OSeq. The gap is permanent when a prior coordinator acked the
+// missing submission (so the client stopped resending it) but its
+// sequencing did not survive the view change. The client retransmits every
+// pending frame each ResendInterval, so a gap that persists for
+// DataGapTimeout will never fill: advance the dedup watermark to just
+// below the lowest held OSeq and let the upper layer's request-id retries
+// re-carry whatever the lost submission held. Member origins keep strict
+// FIFO — they resend until kSeq delivery, so their gaps always fill.
+func (m *Member) maybeSkipDataGap(origin string, hold map[uint64]*rxFrame) {
+	if m.cfg.DataGapTimeout <= 0 || !m.isExternal(origin) {
+		return
+	}
+	if len(hold) == 0 {
+		delete(m.dataGapSince, origin)
+		return
+	}
+	next := m.effectiveSeen(origin) + 1
+	if _, ok := hold[next]; ok {
+		delete(m.dataGapSince, origin)
+		return
+	}
+	since, stalled := m.dataGapSince[origin]
+	if !stalled {
+		m.dataGapSince[origin] = m.now()
+		return
+	}
+	if m.now().Sub(since) < m.cfg.DataGapTimeout {
+		return
+	}
+	lowest := uint64(0)
+	for oseq := range hold {
+		if lowest == 0 || oseq < lowest {
+			lowest = oseq
+		}
+	}
+	m.seenData[origin] = lowest - 1
+	delete(m.dataGapSince, origin)
+	m.cGapSkips.Inc()
+	m.tr.Event(trace.SubGCS, "data_gap_skip", m.deliverVT, int64(lowest-next))
 }
 
 // ackData notifies an origin that its submission has been sequenced.
@@ -598,7 +661,20 @@ func (m *Member) handleFifoNack(from string, f *frame) {
 // and causal frontiers so a receiver notices a dropped final message even
 // when no later message reveals the gap.
 func (m *Member) handleHeartbeat(from string, f *frame) {
-	if !m.installed || f.ViewID != m.view.ID || from == m.Addr() {
+	if !m.installed || from == m.Addr() {
+		return
+	}
+	if f.ViewID < m.view.ID {
+		// The sender is behind — stalled in a superseded view (it missed
+		// the installation, or sat out a partition on the minority side).
+		// Teach it the current view: an excluded member discovers its
+		// exclusion and rejoins as a fresh incarnation.
+		if m.lastView != nil {
+			m.sendControl(from, m.lastView)
+		}
+		return
+	}
+	if f.ViewID != m.view.ID {
 		return
 	}
 	// Agreed tail gap: the peer has delivered beyond our frontier.
@@ -857,20 +933,38 @@ func (m *Member) tick() {
 		}
 	}
 
-	// Failure detection.
+	// Failure detection: the fixed SuspectAfter silence floor, and — when
+	// the accrual detector has calibrated — a phi requirement on top, so a
+	// congested-but-alive peer whose rhythm the detector has learned is
+	// not mistaken for a crash.
 	changed := false
 	for _, mm := range m.view.Members {
 		if mm == m.Addr() || m.suspects[mm] {
 			continue
 		}
-		if nowT.Sub(m.lastHeard[mm]) > m.cfg.SuspectAfter {
-			m.suspects[mm] = true
-			m.cHBMisses.Inc()
-			m.tr.Event(trace.SubGCS, "suspect", m.deliverVT, int64(m.view.ID))
-			changed = true
+		if nowT.Sub(m.lastHeard[mm]) <= m.cfg.SuspectAfter {
+			continue
 		}
+		if m.det != nil {
+			if phi, ok := m.det.Phi(mm, nowT); ok {
+				m.cPhiMax.Max(int64(phi * 1000))
+				if phi < m.cfg.PhiThreshold {
+					continue
+				}
+			}
+		}
+		m.suspects[mm] = true
+		m.cHBMisses.Inc()
+		m.tr.Event(trace.SubGCS, "suspect", m.deliverVT, int64(m.view.ID))
+		changed = true
 	}
-	if changed || len(m.joinReqs) > 0 || len(m.leaveReqs) > 0 {
+	// Standing suspicions with no proposal in flight also retry: a member
+	// that was stalled by the primary-partition rule when the suspicion
+	// first fired (and so never proposed) must re-evaluate once renewed
+	// contact restores its primacy — no new suspicion event will arrive to
+	// prompt it.
+	if changed || len(m.joinReqs) > 0 || len(m.leaveReqs) > 0 ||
+		(len(m.suspects) > 0 && m.proposal == nil) {
 		m.maybePropose()
 	}
 

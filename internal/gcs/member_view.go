@@ -25,6 +25,18 @@ func (m *Member) maybePropose() {
 	if !m.installed || m.proposal != nil || !m.isCoordinatorDuty() {
 		return
 	}
+	if !m.primaryPartition() {
+		// Primary-partition rule: a member whose unsuspected survivor set
+		// has lost primacy must not install a view — a symmetric partition
+		// would otherwise fracture the group into concurrently serving
+		// fragments (split-brain). It stalls instead: suspicion clears on
+		// renewed contact (handleFrame) and proposing resumes, or the
+		// primary side's new view reaches it (heartbeat teaching) and it
+		// rejoins as a fresh incarnation.
+		m.cMinority.Inc()
+		m.tr.Event(trace.SubGCS, "minority_stall", m.deliverVT, int64(m.view.ID))
+		return
+	}
 	newMembers := m.computeNewMembers()
 	if sameMembers(newMembers, m.view.Members) {
 		m.joinReqs = make(map[string]bool)
@@ -86,6 +98,44 @@ func (m *Member) maybePropose() {
 		}
 	}
 	m.checkProposalReady()
+}
+
+// primaryPartition reports whether this member's unsuspected survivors of
+// the current view retain the right to continue the group: a strict
+// majority, or exactly half that includes the view's lowest-ranked member
+// (the deterministic tiebreak for even splits — at most one side can hold
+// the old coordinator). Graceful leavers still count as survivors; only
+// suspicion — the partition signal — erodes primacy.
+//
+// A member without primacy does not stall forever: once the loss persists
+// past MinorityGrace — long past any transient partition, whose heal would
+// have rescinded the suspicion — the peers are treated as crashed and the
+// member continues, so cascading crashes can degrade the group all the way
+// down to a lone survivor.
+func (m *Member) primaryPartition() bool {
+	if len(m.suspects) == 0 {
+		m.minoritySince = time.Time{}
+		return true
+	}
+	alive := 0
+	for _, mm := range m.view.Members {
+		if !m.suspects[mm] {
+			alive++
+		}
+	}
+	n := len(m.view.Members)
+	if 2*alive > n || (2*alive == n && !m.suspects[m.view.Members[0]]) {
+		m.minoritySince = time.Time{}
+		return true
+	}
+	if m.cfg.MinorityGrace <= 0 {
+		return false
+	}
+	if m.minoritySince.IsZero() {
+		m.minoritySince = m.now()
+		return false
+	}
+	return m.now().Sub(m.minoritySince) >= m.cfg.MinorityGrace
 }
 
 func (m *Member) computeNewMembers() []string {
@@ -401,6 +451,15 @@ func (m *Member) handleViewFrame(msg transport.Message, f *frame) {
 		}
 		return
 	}
+	if f.ViewID > m.view.ID && !contains(f.Members, m.Addr()) && !m.leaving {
+		// A newer view that excludes us: the primary partition moved on
+		// while we were cut off. We can never recover the sequenced stream
+		// between our frontier and this installation (the survivors flushed
+		// it among themselves), so adopt the exclusion directly and rejoin
+		// as a fresh incarnation with a state transfer.
+		m.installJoinedView(f, false)
+		return
+	}
 	if f.ViewID <= m.view.ID || f.Seq < m.nextDeliver {
 		return
 	}
@@ -525,6 +584,10 @@ func (m *Member) installJoinedView(f *frame, joined bool) {
 	m.emit(Event{Kind: EventView, View: m.view.clone(), Seq: f.Seq, VTime: m.deliverVT,
 		Joined: joined, Left: append([]string(nil), f.Left...)})
 
+	// Gap stamps restart with the view: a pre-change stamp must not trigger
+	// an immediate skip before the origin's retransmissions have had a
+	// chance to reach the (possibly new) sequencer.
+	m.dataGapSince = make(map[string]time.Time)
 	if m.view.Coordinator() == m.Addr() {
 		m.nextSeq = f.Seq + 1
 		// The sequencing watermark restarts from the delivery record

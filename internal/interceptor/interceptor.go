@@ -260,6 +260,10 @@ func (w *GroupWire) SetExpectedReplies(n int) {
 	}
 }
 
+// Group exposes the underlying group client (membership hints,
+// introspection).
+func (w *GroupWire) Group() *gcs.GroupClient { return w.gc }
+
 // Send wraps the request in a replication envelope and submits it into the
 // group's agreed stream.
 func (w *GroupWire) Send(reqBytes []byte, sentAt vtime.Time, led vtime.Ledger) error {

@@ -12,9 +12,13 @@ package introspect
 
 import (
 	"encoding/json"
+	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sort"
+	"strings"
 
 	"versadep/internal/trace"
 )
@@ -23,15 +27,21 @@ import (
 // method, or a closure merging several recorders for a whole-process view.
 type Source func() trace.Snapshot
 
-// Option extends the introspection mux with extra endpoints.
-type Option func(*http.ServeMux)
+// muxState is the under-construction handler tree Options extend.
+type muxState struct {
+	mux    *http.ServeMux
+	gauges []func() map[string]float64
+}
+
+// Option extends the introspection mux with extra endpoints or samples.
+type Option func(*muxState)
 
 // WithJSON serves fn's result as JSON on path, snapshotted per request.
 // Layers above trace (e.g. the policy controller's decision log) publish
 // through this without introspect importing them.
 func WithJSON(path string, fn func() any) Option {
-	return func(mux *http.ServeMux) {
-		mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+	return func(s *muxState) {
+		s.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Content-Type", "application/json")
 			enc := json.NewEncoder(w)
 			enc.SetIndent("", "  ")
@@ -42,12 +52,23 @@ func WithJSON(path string, fn func() any) Option {
 	}
 }
 
+// WithGauges appends live gauge samples to /metrics, called once per
+// scrape. Keys are full Prometheus sample names, labels included (e.g.
+// `versadep_detector_phi{peer="rb"}`). This carries instantaneous state —
+// a failure detector's current suspicion level, a transport's wire
+// counters — that lives outside the trace recorder's monotone counters.
+func WithGauges(fn func() map[string]float64) Option {
+	return func(s *muxState) { s.gauges = append(s.gauges, fn) }
+}
+
 // NewMux builds the introspection handler tree around src.
 func NewMux(src Source, opts ...Option) *http.ServeMux {
-	mux := http.NewServeMux()
+	st := &muxState{mux: http.NewServeMux()}
+	mux := st.mux
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = src().WritePrometheus(w)
+		writeGauges(w, st.gauges)
 	})
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -62,9 +83,41 @@ func NewMux(src Source, opts ...Option) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	for _, opt := range opts {
-		opt(mux)
+		opt(st)
 	}
 	return mux
+}
+
+// writeGauges renders the registered live samples in Prometheus text
+// format, sorted for deterministic scrapes, with one TYPE comment per
+// metric family (the sample name up to any label block).
+func writeGauges(w io.Writer, gauges []func() map[string]float64) {
+	if len(gauges) == 0 {
+		return
+	}
+	samples := make(map[string]float64)
+	for _, fn := range gauges {
+		for k, v := range fn() {
+			samples[k] = v
+		}
+	}
+	keys := make([]string, 0, len(samples))
+	for k := range samples {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	lastFamily := ""
+	for _, k := range keys {
+		family := k
+		if i := strings.IndexByte(family, '{'); i >= 0 {
+			family = family[:i]
+		}
+		if family != lastFamily {
+			fmt.Fprintf(w, "# TYPE %s gauge\n", family)
+			lastFamily = family
+		}
+		fmt.Fprintf(w, "%s %g\n", k, samples[k])
+	}
 }
 
 // Server is a running introspection endpoint.

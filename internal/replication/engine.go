@@ -247,6 +247,7 @@ type Engine struct {
 	cXferChunksRx *trace.Counter
 	cXferBytesRx  *trace.Counter
 	cXferApplied  *trace.Counter
+	cXferPromotes *trace.Counter // total-failure self-promotions
 	spans         *span.Recorder
 	hExec         *trace.Histogram // per-request replica turnaround, µs
 
@@ -287,6 +288,20 @@ type Engine struct {
 	xfers     map[string]*outXfer
 	rx        *inXfer
 	lastVT    vtime.Time
+
+	// viewJoiners marks members that joined in the latest view change
+	// (unsynced until their transfer lands); xferNag rotates an unsynced
+	// joiner's fresh resume requests across potential transfer leaders,
+	// xferNagMiss counts unanswered requests to the current sender, and
+	// xferLastNag paces requests to one per stall period.
+	viewJoiners map[string]bool
+	xferNag     int
+	xferNagMiss int
+	xferLastNag time.Time
+	// xferNaks collects, per current view, which members declared
+	// themselves unsynced in answer to our resume requests (value: how
+	// far their state reaches). See handleResumeNak.
+	xferNaks map[string]uint64
 }
 
 // NewEngine starts a replica engine on member. The adapter carries the
@@ -329,6 +344,7 @@ func NewEngine(member *gcs.Member, adapter *orb.Adapter, cfg Config) *Engine {
 		pendMarkers: make(map[ckptKey]*pendingMarker),
 		pendStates:  make(map[ckptKey]*Msg),
 		xfers:       make(map[string]*outXfer),
+		xferNaks:    make(map[string]uint64),
 	}
 	e.initTrace(cfg.Trace)
 	go e.run()
@@ -362,6 +378,7 @@ func (e *Engine) initTrace(r *trace.Recorder) {
 	e.cXferChunksRx = r.Counter(trace.SubReplication, "transfer_chunks_received")
 	e.cXferBytesRx = r.Counter(trace.SubReplication, "transfer_bytes_received")
 	e.cXferApplied = r.Counter(trace.SubReplication, "transfers_applied")
+	e.cXferPromotes = r.Counter(trace.SubReplication, "transfer_self_promotes")
 	e.spans = r.Spans()
 	e.hExec = r.Histogram(trace.SubReplication, "exec_us")
 }
@@ -627,6 +644,8 @@ func (e *Engine) handleEvent(ev gcs.Event) {
 			e.handleChunkAck(ev, msg)
 		case KindResumeReq:
 			e.handleResumeReq(ev, msg)
+		case KindResumeNak:
+			e.handleResumeNak(ev, msg)
 		}
 	case gcs.EventMessage:
 		msg, err := Decode(ev.Payload)
@@ -746,12 +765,37 @@ func (e *Engine) handleView(ev gcs.Event) {
 
 	leader := e.view.Coordinator() == e.Addr()
 
+	// Joiners of this view change are unsynced by definition. Transfer
+	// leadership goes to the lowest-ranked member that did NOT just join —
+	// the coordinator itself may be a rejoining previous anchor whose rank
+	// puts it first while it still has no state to serve.
+	e.viewJoiners = make(map[string]bool)
+	e.xferNag, e.xferNagMiss = 0, 0
+	e.xferNaks = make(map[string]uint64)
+	var joiners []string
+	for _, m := range e.view.Members {
+		if !prev.Contains(m) && prev.ID != 0 {
+			e.viewJoiners[m] = true
+			if m != e.Addr() {
+				joiners = append(joiners, m)
+			}
+		}
+	}
+	xferLeader := false
+	for _, m := range e.view.Members {
+		if !e.viewJoiners[m] {
+			xferLeader = m == e.Addr()
+			break
+		}
+	}
+
 	// Outgoing transfer cursors are only valid while this replica leads
-	// and the joiner stays in the view: a departed joiner may miss
-	// deliveries and must restart from a fresh capture when it returns,
-	// and a demoted leader's serial means nothing to its successor.
+	// transfers and the joiner stays in the view: a departed joiner may
+	// miss deliveries and must restart from a fresh capture when it
+	// returns, and a demoted leader's serial means nothing to its
+	// successor.
 	for _, x := range e.xfers {
-		if !leader {
+		if !xferLeader {
 			e.abortTransfer(x, ev.VTime, "demoted")
 		} else if !e.view.Contains(x.peer) {
 			e.abortTransfer(x, ev.VTime, "joiner left view")
@@ -790,16 +834,10 @@ func (e *Engine) handleView(ev gcs.Event) {
 		e.notify(Notice{Kind: NoticeSwitchDone, VT: ev.VTime, Delay: e.stats.LastSwitchDelay, Style: e.style})
 	}
 
-	// State transfer for joiners: the leader captures a bookmark
+	// State transfer for joiners: the transfer leader captures a bookmark
 	// checkpoint and streams it in resumable chunks to every new member
 	// (one shared capture per view change).
-	if leader && e.synced {
-		var joiners []string
-		for _, m := range e.view.Members {
-			if m != e.Addr() && !prev.Contains(m) && prev.ID != 0 {
-				joiners = append(joiners, m)
-			}
-		}
+	if xferLeader && e.synced {
 		e.startTransfers(joiners, ev.VTime)
 	}
 

@@ -59,6 +59,13 @@ const (
 	// transfer it holds (zero: none). The leader resumes a matching
 	// bookmark checkpoint at the cursor instead of re-sending everything.
 	KindResumeReq
+	// KindResumeNak is an unsynced member's answer to a resume request it
+	// cannot serve: CoveredSeq reports how far the sender's own retained
+	// state reaches. When every member of a view has nak'd each other —
+	// total failure: cascaded partitions or crashes left no synced member
+	// — the most advanced member promotes itself back to synced and
+	// serves the rest (see handleResumeNak).
+	KindResumeNak
 )
 
 // Msg is the replication layer's envelope.

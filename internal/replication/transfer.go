@@ -44,6 +44,11 @@ import (
 // resume token while the bookmark is retained).
 const transferAbandonAfter = 30 * time.Second
 
+// transferNagPatience is how many consecutive unanswered resume requests a
+// joiner sends to the sender of its partial transfer before abandoning the
+// partial state and courting the other members fresh.
+const transferNagPatience = 4
+
 // bookmark is a retained transfer checkpoint: the split state plus the
 // metadata a joiner needs to splice itself into the stream.
 type bookmark struct {
@@ -307,15 +312,24 @@ func (e *Engine) handleChunkAck(ev gcs.Event, msg *Msg) {
 	e.pumpTransfer(x, bm, ev.VTime)
 }
 
-// handleResumeReq serves a joiner's resume token. Only the synced
-// coordinator answers; everyone else stays silent and the joiner retries
-// against the next view's coordinator.
+// handleResumeReq serves a joiner's resume token. Any synced member
+// answers — the coordinator itself may be an unsynced rejoiner whose rank
+// restored it to the front of the view; the joiner rotates its requests
+// until one lands on a member with state to serve. Unsynced members stay
+// silent and the joiner retries elsewhere.
 func (e *Engine) handleResumeReq(ev gcs.Event, msg *Msg) {
-	if e.view.Coordinator() != e.Addr() || !e.synced {
-		return
-	}
 	peer := ev.Sender
 	if !e.view.Contains(peer) {
+		return
+	}
+	if !e.synced {
+		// Nothing to serve — but silence here can wedge the group: if a
+		// cascade of partitions and crashes left every view member
+		// unsynced, each would nag the others forever. Answer with how
+		// far our own retained state reaches so the most advanced member
+		// can promote itself (handleResumeNak).
+		nak := &Msg{Kind: KindResumeNak, CoveredSeq: e.lastExecSeq}
+		_ = e.member.SendDirect(peer, Encode(nak), ev.VTime, vtime.Ledger{})
 		return
 	}
 	if x := e.xfers[peer]; x != nil {
@@ -351,6 +365,45 @@ func (e *Engine) handleResumeReq(ev gcs.Event, msg *Msg) {
 		}
 	}
 	e.startTransfers([]string{peer}, ev.VTime)
+}
+
+// handleResumeNak records a peer's declaration that it, too, is unsynced.
+// Once every other view member has nak'd — meaning the view holds no
+// synced member at all (a synced member serves instead of nak'ing, so its
+// presence blocks this path) — the member whose retained state reaches
+// furthest promotes itself back to synced and serves the rest. Ties break
+// toward the lowest-ranked member. This is the total-failure recovery
+// rule: when cascaded partitions and crashes leave no authoritative copy,
+// the group restarts from the most advanced surviving state rather than
+// wedging forever.
+func (e *Engine) handleResumeNak(ev gcs.Event, msg *Msg) {
+	if e.synced || !e.view.Contains(ev.Sender) {
+		return
+	}
+	e.xferNaks[ev.Sender] = msg.CoveredSeq
+	for _, m := range e.view.Members {
+		if m == e.Addr() {
+			continue
+		}
+		seq, ok := e.xferNaks[m]
+		if !ok {
+			return // still waiting to hear from m
+		}
+		if seq > e.lastExecSeq || (seq == e.lastExecSeq && m < e.Addr()) {
+			return // m is a better candidate; it will promote instead
+		}
+	}
+	e.synced = true
+	e.resetInXfer("self-promoted")
+	e.cXferPromotes.Inc()
+	e.tr.Event(trace.SubReplication, "transfer_self_promote", ev.VTime, int64(e.lastExecSeq))
+	var peers []string
+	for _, m := range e.view.Members {
+		if m != e.Addr() {
+			peers = append(peers, m)
+		}
+	}
+	e.startTransfers(peers, ev.VTime)
 }
 
 // resumeTransfer rewinds the send window to the acked cursor after a
@@ -410,26 +463,59 @@ func (e *Engine) transferTick() {
 	if e.synced || len(e.view.Members) <= 1 {
 		return
 	}
-	coord := e.view.Coordinator()
-	if coord == "" || coord == e.Addr() {
-		return
-	}
-	if e.rx != nil && e.rx.from != coord {
-		// The leader changed under a partial transfer. Its serial is
-		// meaningless to the new coordinator (serials are per-sender), and
+	if e.rx != nil && !e.view.Contains(e.rx.from) {
+		// The sender left under a partial transfer. Its serial is
+		// meaningless to any successor (serials are per-sender), and
 		// deliveries may have been missed between memberships — discard
 		// and ask for a fresh transfer.
-		e.resetInXfer("leader changed")
+		e.resetInXfer("sender left view")
 	}
 	if e.rx != nil && now.Sub(e.rx.lastRecv) < stall {
 		return // chunks are flowing; no need to nag
 	}
-	req := &Msg{Kind: KindResumeReq}
-	if e.rx != nil {
-		req.CkptSerial = e.rx.serial
-		req.ChunkIndex = uint32(e.rx.have)
+	if now.Sub(e.xferLastNag) < stall {
+		return // give the previous request a chance to land first
 	}
-	_ = e.member.SendDirect(coord, Encode(req), e.lastVT, vtime.Ledger{})
+	e.xferLastNag = now
+	if e.rx != nil {
+		// A partial transfer is in flight: keep asking its sender to
+		// resume. Courting anyone else would invite a second sender whose
+		// fresh stream supersedes the cursor — and the resume token is
+		// only meaningful to the sender that minted the serial. Only after
+		// several silent periods (the sender crashed and came back
+		// unsynced, or lost the bookmark) is the partial state abandoned
+		// so the search below can start over.
+		if e.xferNagMiss < transferNagPatience {
+			e.xferNagMiss++
+			req := &Msg{Kind: KindResumeReq, CkptSerial: e.rx.serial, ChunkIndex: uint32(e.rx.have)}
+			_ = e.member.SendDirect(e.rx.from, Encode(req), e.lastVT, vtime.Ledger{})
+			return
+		}
+		e.resetInXfer("sender unresponsive")
+	}
+	// Nothing in flight: rotate fresh requests across members that did not
+	// just join, starting from the transfer leader (lowest rank). Any
+	// synced one answers. Fixed targeting could starve — the coordinator
+	// itself may be an unsynced rejoiner with nothing to serve.
+	var targets []string
+	for _, m := range e.view.Members {
+		if m != e.Addr() && !e.viewJoiners[m] {
+			targets = append(targets, m)
+		}
+	}
+	if len(targets) == 0 {
+		for _, m := range e.view.Members {
+			if m != e.Addr() {
+				targets = append(targets, m)
+			}
+		}
+	}
+	if len(targets) == 0 {
+		return
+	}
+	target := targets[e.xferNag%len(targets)]
+	e.xferNag++
+	_ = e.member.SendDirect(target, Encode(&Msg{Kind: KindResumeReq}), e.lastVT, vtime.Ledger{})
 }
 
 // ---- joiner side ----
@@ -467,6 +553,7 @@ func (e *Engine) handleStateChunk(ev gcs.Event, msg *Msg) {
 		e.rx = rx
 	}
 	rx.lastRecv = time.Now()
+	e.xferNagMiss = 0
 	if rx.chunks[idx] == nil {
 		rx.chunks[idx] = msg.State
 		rx.bytes += len(msg.State)

@@ -1,0 +1,65 @@
+package replicator_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"versadep/internal/replication"
+	"versadep/internal/simnet"
+)
+
+// TestFaultMeterAgreesWithInjectedCrashes: the crash-rate meter behind the
+// availability policy is fed from the failure detector's view changes, so
+// the full chain — silence, accrued suspicion, view agreement, crash
+// classification — must reproduce exactly the injected fault count, and
+// every survivor must agree (the Crashed annotation travels on the
+// sequenced view frame).
+func TestFaultMeterAgreesWithInjectedCrashes(t *testing.T) {
+	net := simnet.New(simnet.WithSeed(11))
+	defer net.Close()
+	c := startCluster(t, net, 5, replication.WarmPassive, 4, nil)
+
+	net.Crash("re")
+	c.waitGroupSize(t, 4)
+	time.Sleep(100 * time.Millisecond)
+	net.Crash("rd")
+	c.waitGroupSize(t, 3)
+	// Let straggling view notices drain.
+	time.Sleep(100 * time.Millisecond)
+
+	for _, node := range c.nodes[:3] {
+		m := node.Faults()
+		if got := m.Crashes(); got != 2 {
+			t.Fatalf("%s: meter observed %d crashes, injected 2", node.Addr(), got)
+		}
+		// λ = 2 crashes over the 60s default window, MTTR 1s:
+		// availability = 1/(1 + λ·MTTR).
+		lambda := 2.0 / 60.0
+		want := 1 / (1 + lambda)
+		if got := m.Availability(); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("%s: availability %v, want %v", node.Addr(), got, want)
+		}
+	}
+
+	// Graceful departures are not crashes: retiring a replica must leave
+	// the meter untouched.
+	c.nodes[2].Leave()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		v, err := c.nodes[0].Member().View()
+		if err == nil && len(v.Members) == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("group did not shrink to 2 after graceful leave")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	time.Sleep(100 * time.Millisecond)
+	for _, node := range c.nodes[:2] {
+		if got := node.Faults().Crashes(); got != 2 {
+			t.Fatalf("%s: meter observed %d crashes after graceful leave, want 2", node.Addr(), got)
+		}
+	}
+}

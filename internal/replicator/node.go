@@ -109,6 +109,7 @@ func StartReplica(ep transport.MultiEndpoint, cfg ReplicaConfig) *ReplicaNode {
 	gcfg.Trace = rec
 	gcfg.SpanKey = requestSpanKey
 	cfg.Replication.Trace = rec
+	d.SetTrace(rec)
 
 	// The node observes its own engine before the caller's observer:
 	// crashes seen in view changes feed the fault meter, and a
@@ -232,6 +233,7 @@ func StartClient(ep transport.MultiEndpoint, cfg ClientConfig) *ClientNode {
 		rec = trace.New()
 	}
 	rec.Spans().SetNode(ep.Addr())
+	d.SetTrace(rec)
 
 	gcc := gcs.DefaultClientConfig(cfg.Members)
 	gcc.Model = cfg.Model

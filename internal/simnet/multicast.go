@@ -24,14 +24,14 @@ func (e *Endpoint) SendMulticast(tos []string, payload []byte, sentAt vtime.Time
 	n := e.net
 	n.mu.Lock()
 	n.stats.MessagesSent++
-	n.stats.BytesSent += int64(len(payload))
+	n.stats.BytesSent += int64(e.wireSize(payload))
 	n.mu.Unlock()
 	for _, to := range tos {
-		dst, arrive := e.routeUncounted(to, len(payload), sentAt)
+		dst, arrive := e.routeUncounted(to, e.wireSize(payload), sentAt)
 		if dst == nil {
 			continue
 		}
-		dst.enqueue(transport.Message{
+		n.deliver(dst, transport.Message{
 			From:     e.addr,
 			To:       to,
 			Payload:  payload,
@@ -55,11 +55,11 @@ func (e *Endpoint) SendControl(to string, payload []byte, sentAt vtime.Time) err
 	if closed {
 		return transport.ErrClosed
 	}
-	dst, arrive := e.routeUncounted(to, len(payload), sentAt)
+	dst, arrive := e.routeUncounted(to, e.wireSize(payload), sentAt)
 	if dst == nil {
 		return nil
 	}
-	dst.enqueue(transport.Message{
+	e.net.deliver(dst, transport.Message{
 		From:     e.addr,
 		To:       to,
 		Payload:  payload,

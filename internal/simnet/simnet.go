@@ -28,15 +28,18 @@ type Network struct {
 	model vtime.CostModel
 	rand  *vtime.Rand
 
-	mu         sync.Mutex
-	endpoints  map[string]*Endpoint
-	crashed    map[string]bool
-	dropProb   map[linkKey]float64
-	extraDelay map[linkKey]vtime.Duration
-	partition  map[string]int // address -> partition id; absent = 0
-	lastArrive map[linkKey]vtime.Time
-	stats      transport.Stats
-	closed     bool
+	mu          sync.Mutex
+	endpoints   map[string]*Endpoint
+	crashed     map[string]bool
+	dropProb    map[linkKey]float64
+	dupProb     map[linkKey]float64
+	reorderProb map[linkKey]float64
+	corruptProb map[linkKey]float64
+	extraDelay  map[linkKey]vtime.Duration
+	partition   map[string]int // address -> partition id; absent = 0
+	lastArrive  map[linkKey]vtime.Time
+	stats       transport.Stats
+	closed      bool
 }
 
 type linkKey struct{ from, to string }
@@ -57,14 +60,17 @@ func WithSeed(seed uint64) Option {
 // New creates an empty fabric.
 func New(opts ...Option) *Network {
 	n := &Network{
-		model:      vtime.DefaultCostModel(),
-		rand:       vtime.NewRand(1),
-		endpoints:  make(map[string]*Endpoint),
-		crashed:    make(map[string]bool),
-		dropProb:   make(map[linkKey]float64),
-		extraDelay: make(map[linkKey]vtime.Duration),
-		partition:  make(map[string]int),
-		lastArrive: make(map[linkKey]vtime.Time),
+		model:       vtime.DefaultCostModel(),
+		rand:        vtime.NewRand(1),
+		endpoints:   make(map[string]*Endpoint),
+		crashed:     make(map[string]bool),
+		dropProb:    make(map[linkKey]float64),
+		dupProb:     make(map[linkKey]float64),
+		reorderProb: make(map[linkKey]float64),
+		corruptProb: make(map[linkKey]float64),
+		extraDelay:  make(map[linkKey]vtime.Duration),
+		partition:   make(map[string]int),
+		lastArrive:  make(map[linkKey]vtime.Time),
 	}
 	for _, o := range opts {
 		o(n)
@@ -111,6 +117,36 @@ func (n *Network) SetDropProb(from, to string, p float64) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.dropProb[linkKey{from, to}] = p
+}
+
+// SetDupProb sets the probability that a message from 'from' to 'to' is
+// delivered twice — the duplicated-datagram fault of real UDP/multicast
+// networks. Use "*" for either side as a wildcard.
+func (n *Network) SetDupProb(from, to string, p float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.dupProb[linkKey{from, to}] = p
+}
+
+// SetReorderProb sets the probability that a message from 'from' to 'to'
+// is delivered out of order: the message is held back and released behind
+// later traffic to the same destination (or flushed as soon as the
+// destination's queue drains, so delivery is never lost — only displaced).
+// Use "*" for either side as a wildcard.
+func (n *Network) SetReorderProb(from, to string, p float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.reorderProb[linkKey{from, to}] = p
+}
+
+// SetCorruptProb sets the probability that a message from 'from' to 'to'
+// arrives with a flipped bit in its payload. The receiver sees the
+// corrupted copy; the sender's buffer is never touched. Use "*" for either
+// side as a wildcard.
+func (n *Network) SetCorruptProb(from, to string, p float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.corruptProb[linkKey{from, to}] = p
 }
 
 // SetExtraDelay adds a fixed timing-fault delay on a link. Use "*" as a
@@ -238,10 +274,56 @@ func (n *Network) route(from, to string, size int, sentAt vtime.Time) (*Endpoint
 	return dst, arrive
 }
 
+// deliver applies the payload-level wire faults (byte corruption, message
+// duplication, reordering) and hands the message to the destination
+// endpoint. Corruption copies the payload before flipping a bit, so the
+// sender's retransmission buffers always hold the pristine bytes.
+func (n *Network) deliver(dst *Endpoint, m transport.Message) {
+	n.mu.Lock()
+	if len(n.corruptProb) == 0 && len(n.dupProb) == 0 && len(n.reorderProb) == 0 {
+		n.mu.Unlock()
+		dst.enqueue(m)
+		return
+	}
+	if p := linkParam(n.corruptProb, m.From, m.To); p > 0 && len(m.Payload) > 0 && n.rand.Float64() < p {
+		corrupted := make([]byte, len(m.Payload))
+		copy(corrupted, m.Payload)
+		idx := n.rand.Intn(len(corrupted))
+		corrupted[idx] ^= byte(1) << n.rand.Intn(8)
+		m.Payload = corrupted
+		n.stats.MessagesCorrupted++
+	}
+	dup := false
+	if p := linkParam(n.dupProb, m.From, m.To); p > 0 && n.rand.Float64() < p {
+		dup = true
+		n.stats.MessagesDuplicated++
+	}
+	reorder := false
+	if p := linkParam(n.reorderProb, m.From, m.To); p > 0 && n.rand.Float64() < p {
+		reorder = true
+		n.stats.MessagesReordered++
+	}
+	n.mu.Unlock()
+	if reorder {
+		dst.enqueueDeferred(m)
+	} else {
+		dst.enqueue(m)
+	}
+	if dup {
+		dst.enqueue(m)
+	}
+}
+
 // Endpoint is a process's attachment to a Network.
 type Endpoint struct {
 	net  *Network
 	addr string
+
+	// framing is the caller-declared per-message link-framing overhead
+	// (checksum trailers) excluded from byte accounting and transmit
+	// charges, keeping the calibrated cost model anchored to
+	// application-visible bytes. Set once before traffic flows.
+	framing int
 
 	mu     sync.Mutex
 	queue  []transport.Message
@@ -249,6 +331,11 @@ type Endpoint struct {
 	out    chan transport.Message
 	closed bool
 	done   chan struct{}
+
+	// deferred holds messages displaced by the reordering fault: they are
+	// released behind the next arrival, or flushed when the queue drains,
+	// so a reordered message is delayed but never lost.
+	deferred []transport.Message
 }
 
 var _ transport.Endpoint = (*Endpoint)(nil)
@@ -268,6 +355,25 @@ func newEndpoint(n *Network, addr string) *Endpoint {
 // Addr returns the endpoint's address.
 func (e *Endpoint) Addr() string { return e.addr }
 
+// ExcludeFraming declares that every payload sent through this endpoint
+// carries n trailing bytes of link framing (checksum trailers) that byte
+// accounting and transmit charges must ignore. Call before traffic flows.
+func (e *Endpoint) ExcludeFraming(n int) {
+	if n >= 0 {
+		e.framing = n
+	}
+}
+
+// wireSize is the accountable size of a payload: its length net of the
+// declared framing overhead.
+func (e *Endpoint) wireSize(payload []byte) int {
+	size := len(payload) - e.framing
+	if size < 0 {
+		size = 0
+	}
+	return size
+}
+
 // Send routes payload through the fabric.
 func (e *Endpoint) Send(to string, payload []byte, sentAt vtime.Time) error {
 	e.mu.Lock()
@@ -276,11 +382,11 @@ func (e *Endpoint) Send(to string, payload []byte, sentAt vtime.Time) error {
 	if closed {
 		return transport.ErrClosed
 	}
-	dst, arrive := e.net.route(e.addr, to, len(payload), sentAt)
+	dst, arrive := e.net.route(e.addr, to, e.wireSize(payload), sentAt)
 	if dst == nil {
 		return nil // dropped: datagram semantics, no error
 	}
-	dst.enqueue(transport.Message{
+	e.net.deliver(dst, transport.Message{
 		From:     e.addr,
 		To:       to,
 		Payload:  payload,
@@ -322,11 +428,28 @@ func (e *Endpoint) enqueue(m transport.Message) {
 		return
 	}
 	e.queue = append(e.queue, m)
+	// A fresh arrival releases any reorder-displaced messages behind it.
+	if len(e.deferred) > 0 {
+		e.queue = append(e.queue, e.deferred...)
+		e.deferred = nil
+	}
 	e.mu.Unlock()
 	select {
 	case e.notify <- struct{}{}:
 	default:
 	}
+}
+
+// enqueueDeferred stashes a reorder-fault message without waking the pump;
+// it is released by the next enqueue or by the pump draining the queue.
+func (e *Endpoint) enqueueDeferred(m transport.Message) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.deferred = append(e.deferred, m)
+	e.mu.Unlock()
 }
 
 // pump moves queued messages to the unbuffered delivery channel. The
@@ -336,6 +459,11 @@ func (e *Endpoint) pump() {
 	defer close(e.out)
 	for {
 		e.mu.Lock()
+		if len(e.queue) == 0 && len(e.deferred) > 0 {
+			// Queue drained with reordered stragglers pending: flush them
+			// so the fault displaces delivery order, never liveness.
+			e.queue, e.deferred = e.deferred, nil
+		}
 		var m transport.Message
 		have := len(e.queue) > 0
 		if have {

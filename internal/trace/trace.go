@@ -50,6 +50,7 @@ const (
 	SubGCS         = "gcs"
 	SubReplication = "replication"
 	SubFaults      = "faults"
+	SubTransport   = "transport"
 )
 
 // Counter is a monotonic (or gauge, via Store/Max) int64 register. The zero

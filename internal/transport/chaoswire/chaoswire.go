@@ -1,0 +1,139 @@
+// Package chaoswire perturbs a live transport endpoint with the
+// probabilistic fault classes of a chaos spec: message drop, duplication,
+// reordering (as a randomized extra delay), and byte corruption, applied
+// to every outbound send. It is the real-network counterpart of the
+// simnet fault injectors — cmd/vdnode's -chaos flag wraps its endpoint
+// here, so a multi-process deployment can be soak-tested with the same
+// SPEC[:SEED] syntax the simulated campaigns use.
+//
+// Only the per-message classes apply: partitions and crashes are
+// fabric-level faults a single process cannot script against its peers
+// (kill the process or firewall it instead). Corruption flips bits in a
+// copy of the payload before it reaches the wire, so the Demux layer's
+// CRC32-C seal detects and drops the frame at the receiver — exercising
+// the same drop-and-count path as simnet corruption.
+package chaoswire
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"versadep/internal/faults/chaos"
+	"versadep/internal/transport"
+	"versadep/internal/vtime"
+)
+
+// Endpoint wraps a transport endpoint, perturbing outbound traffic.
+type Endpoint struct {
+	inner transport.MultiEndpoint
+	spec  chaos.Spec
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	dropped    atomic.Int64
+	duplicated atomic.Int64
+	delayed    atomic.Int64
+	corrupted  atomic.Int64
+}
+
+// Stats reports how many outbound messages each fault class touched.
+type Stats struct {
+	Dropped, Duplicated, Delayed, Corrupted int64
+}
+
+// Wrap perturbs every send on inner according to spec, deterministically
+// seeded. The zero spec passes everything through untouched.
+func Wrap(inner transport.MultiEndpoint, spec chaos.Spec, seed uint64) *Endpoint {
+	return &Endpoint{inner: inner, spec: spec, rng: rand.New(rand.NewSource(int64(seed)))}
+}
+
+// Stats returns the injected-fault counters.
+func (e *Endpoint) Stats() Stats {
+	return Stats{
+		Dropped:    e.dropped.Load(),
+		Duplicated: e.duplicated.Load(),
+		Delayed:    e.delayed.Load(),
+		Corrupted:  e.corrupted.Load(),
+	}
+}
+
+// roll draws the fault decisions for one message under the lock; the
+// sends themselves happen outside it.
+func (e *Endpoint) roll() (drop, dup, corrupt bool, delay time.Duration) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := e.spec
+	if s.Drop > 0 && e.rng.Float64() < s.Drop {
+		return true, false, false, 0
+	}
+	dup = s.Dup > 0 && e.rng.Float64() < s.Dup
+	corrupt = s.Corrupt > 0 && e.rng.Float64() < s.Corrupt
+	// Reordering on a FIFO TCP link is approximated by holding the
+	// message back a random slice of the delay budget: later frames on
+	// the link overtake it. The delay class adds its full budget.
+	if s.Reorder > 0 && e.rng.Float64() < s.Reorder {
+		delay += time.Duration(e.rng.Int63n(int64(2 * time.Millisecond)))
+	}
+	if s.Delay > 0 {
+		delay += time.Duration(s.Delay)
+	}
+	return false, dup, corrupt, delay
+}
+
+// perturb applies one roll to a send executed by emit.
+func (e *Endpoint) perturb(payload []byte, emit func(p []byte) error) error {
+	drop, dup, corrupt, delay := e.roll()
+	if drop {
+		e.dropped.Add(1)
+		return nil // datagram semantics: a dropped frame reports success
+	}
+	if corrupt {
+		e.corrupted.Add(1)
+		damaged := make([]byte, len(payload))
+		copy(damaged, payload)
+		if len(damaged) > 0 {
+			e.mu.Lock()
+			i := e.rng.Intn(len(damaged))
+			damaged[i] ^= 0x40
+			e.mu.Unlock()
+		}
+		payload = damaged
+	}
+	send := func() error {
+		if err := emit(payload); err != nil {
+			return err
+		}
+		if dup {
+			e.duplicated.Add(1)
+			return emit(payload)
+		}
+		return nil
+	}
+	if delay > 0 {
+		e.delayed.Add(1)
+		time.AfterFunc(delay, func() { _ = send() })
+		return nil
+	}
+	return send()
+}
+
+func (e *Endpoint) Addr() string { return e.inner.Addr() }
+
+func (e *Endpoint) Send(to string, payload []byte, sentAt vtime.Time) error {
+	return e.perturb(payload, func(p []byte) error { return e.inner.Send(to, p, sentAt) })
+}
+
+func (e *Endpoint) SendMulticast(tos []string, payload []byte, sentAt vtime.Time) error {
+	return e.perturb(payload, func(p []byte) error { return e.inner.SendMulticast(tos, p, sentAt) })
+}
+
+func (e *Endpoint) SendControl(to string, payload []byte, sentAt vtime.Time) error {
+	return e.perturb(payload, func(p []byte) error { return e.inner.SendControl(to, p, sentAt) })
+}
+
+func (e *Endpoint) Recv() <-chan transport.Message { return e.inner.Recv() }
+
+func (e *Endpoint) Close() error { return e.inner.Close() }

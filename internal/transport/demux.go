@@ -2,7 +2,10 @@ package transport
 
 import (
 	"sync"
+	"sync/atomic"
 
+	"versadep/internal/codec"
+	"versadep/internal/trace"
 	"versadep/internal/vtime"
 )
 
@@ -49,6 +52,12 @@ type MultiEndpoint interface {
 
 // Demux fans one endpoint's inbound stream out to per-protocol handlers and
 // provides per-protocol Conn views for sending.
+//
+// Every outbound payload is sealed with a CRC32-C trailer and every inbound
+// payload is verified before dispatch: a frame the wire damaged is dropped
+// and counted — converted into an ordinary message loss the upper layers'
+// retransmission already recovers from — rather than delivered to a
+// protocol decoder.
 type Demux struct {
 	ep MultiEndpoint
 
@@ -56,10 +65,21 @@ type Demux struct {
 	handlers map[Protocol]func(Message)
 	started  bool
 	done     chan struct{}
+
+	corrupt  atomic.Int64
+	cCorrupt *trace.Counter
 }
 
 // NewDemux wraps ep. Call Handle for each protocol, then Start.
+//
+// If the endpoint supports it, the demux declares its checksum trailer as
+// link framing excluded from byte accounting: the calibrated cost model
+// keeps charging the application-visible bytes it was calibrated for, just
+// as the paper's bandwidth measurements exclude the Ethernet FCS.
 func NewDemux(ep MultiEndpoint) *Demux {
+	if fx, ok := ep.(interface{ ExcludeFraming(bytes int) }); ok {
+		fx.ExcludeFraming(codec.SealOverhead)
+	}
 	return &Demux{
 		ep:       ep,
 		handlers: make(map[Protocol]func(Message)),
@@ -88,6 +108,16 @@ func (d *Demux) Start() {
 	go d.run()
 }
 
+// SetTrace registers the corrupt-frame drop counter with r
+// (transport/corrupt_frames_dropped). Call before Start.
+func (d *Demux) SetTrace(r *trace.Recorder) {
+	d.cCorrupt = r.Counter(trace.SubTransport, "corrupt_frames_dropped")
+}
+
+// CorruptDropped reports how many inbound frames failed checksum
+// verification and were discarded.
+func (d *Demux) CorruptDropped() int64 { return d.corrupt.Load() }
+
 // Close shuts down the underlying endpoint and waits for dispatch to stop.
 func (d *Demux) Close() error {
 	err := d.ep.Close()
@@ -101,11 +131,14 @@ func (d *Demux) Addr() string { return d.ep.Addr() }
 func (d *Demux) run() {
 	defer close(d.done)
 	for m := range d.ep.Recv() {
-		if len(m.Payload) == 0 {
+		body, err := codec.VerifyChecksum(m.Payload)
+		if err != nil || len(body) == 0 {
+			d.corrupt.Add(1)
+			d.cCorrupt.Inc()
 			continue
 		}
-		proto := Protocol(m.Payload[0])
-		m.Payload = m.Payload[1:]
+		proto := Protocol(body[0])
+		m.Payload = body[1:]
 		d.mu.Lock()
 		fn := d.handlers[proto]
 		d.mu.Unlock()
@@ -130,10 +163,10 @@ var _ Conn = protoConn{}
 func (c protoConn) Addr() string { return c.d.ep.Addr() }
 
 func (c protoConn) frame(payload []byte) []byte {
-	buf := make([]byte, 1+len(payload))
+	buf := make([]byte, 1+len(payload), 1+len(payload)+4)
 	buf[0] = c.proto
 	copy(buf[1:], payload)
-	return buf
+	return codec.AppendChecksum(buf)
 }
 
 func (c protoConn) Send(to string, payload []byte, sentAt vtime.Time) error {

@@ -30,6 +30,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"versadep/internal/codec"
 	"versadep/internal/transport"
 	"versadep/internal/vtime"
 )
@@ -107,12 +108,15 @@ func (c RetryConfig) backoffFor(n int) time.Duration {
 
 // Stats counts the endpoint's wire-level events. Reconnects counts dials
 // that succeeded after at least one failure for the same frame — the
-// signature of riding out a peer restart.
+// signature of riding out a peer restart. CorruptFrames counts inbound
+// frames whose checksum or structure failed verification and were dropped
+// without disturbing the stream.
 type Stats struct {
-	Dials        uint64
-	DialFailures uint64
-	Reconnects   uint64
-	Dropped      uint64
+	Dials         uint64
+	DialFailures  uint64
+	Reconnects    uint64
+	Dropped       uint64
+	CorruptFrames uint64
 }
 
 // Option configures an Endpoint at Listen time.
@@ -135,10 +139,11 @@ type Endpoint struct {
 	inbound map[net.Conn]bool
 	closed  bool
 
-	dials        atomic.Uint64
-	dialFailures atomic.Uint64
-	reconnects   atomic.Uint64
-	dropped      atomic.Uint64
+	dials         atomic.Uint64
+	dialFailures  atomic.Uint64
+	reconnects    atomic.Uint64
+	dropped       atomic.Uint64
+	corruptFrames atomic.Uint64
 
 	out  chan transport.Message
 	done chan struct{}
@@ -183,10 +188,11 @@ func (e *Endpoint) Retry() RetryConfig { return e.retry.Load().(RetryConfig) }
 // Stats returns a snapshot of the endpoint's wire counters.
 func (e *Endpoint) Stats() Stats {
 	return Stats{
-		Dials:        e.dials.Load(),
-		DialFailures: e.dialFailures.Load(),
-		Reconnects:   e.reconnects.Load(),
-		Dropped:      e.dropped.Load(),
+		Dials:         e.dials.Load(),
+		DialFailures:  e.dialFailures.Load(),
+		Reconnects:    e.reconnects.Load(),
+		Dropped:       e.dropped.Load(),
+		CorruptFrames: e.corruptFrames.Load(),
 	}
 }
 
@@ -305,10 +311,19 @@ func (e *Endpoint) read(conn net.Conn) {
 		_ = conn.Close()
 	}()
 	for {
-		from, fromAddr, payload, sentAt, err := readFrame(conn)
+		f, err := readFrame(conn)
+		if err == errCorruptFrame {
+			// Damaged but correctly length-framed: drop just this frame
+			// and keep the connection — the stream is still in sync and
+			// the upper layers retransmit. Closing here would amplify one
+			// flipped bit into a reconnect storm.
+			e.corruptFrames.Add(1)
+			continue
+		}
 		if err != nil {
 			return
 		}
+		from, fromAddr, payload, sentAt := f.From, f.FromAddr, f.Payload, vtime.Time(f.SentAt)
 		if fromAddr != "" {
 			// Learn (or refresh) the sender's listening address so
 			// replies reach peers absent from the static registry.
@@ -422,58 +437,46 @@ func (p *peerSender) run() {
 	}
 }
 
-// Frame format:
-// u32 total | i64 sentAt | u16 fromLen | from | u16 addrLen | addr | payload.
+// Wire format: u32 total | codec frame body (which begins with its own
+// CRC32-C covering everything after it). The outer length prefix is the
+// only field the checksum cannot protect, so it gets a hard structural
+// bound instead: a total exceeding maxFrame is unrecoverable (the stream
+// may be desynced) and closes the connection; anything inside a valid
+// length is verified by codec.DecodeFrame and at worst drops one frame.
 
 func encodeFrame(from, fromAddr string, payload []byte, sentAt vtime.Time) []byte {
-	total := 8 + 2 + len(from) + 2 + len(fromAddr) + len(payload)
-	buf := make([]byte, 4+total)
-	binary.BigEndian.PutUint32(buf, uint32(total))
-	binary.BigEndian.PutUint64(buf[4:], uint64(sentAt))
-	off := 12
-	binary.BigEndian.PutUint16(buf[off:], uint16(len(from)))
-	off += 2
-	copy(buf[off:], from)
-	off += len(from)
-	binary.BigEndian.PutUint16(buf[off:], uint16(len(fromAddr)))
-	off += 2
-	copy(buf[off:], fromAddr)
-	off += len(fromAddr)
-	copy(buf[off:], payload)
+	body := codec.EncodeFrame(codec.Frame{
+		From:     from,
+		FromAddr: fromAddr,
+		Payload:  payload,
+		SentAt:   int64(sentAt),
+	})
+	buf := make([]byte, 4+len(body))
+	binary.BigEndian.PutUint32(buf, uint32(len(body)))
+	copy(buf[4:], body)
 	return buf
 }
 
-var errFrame = errors.New("tcptransport: malformed frame")
+// errCorruptFrame reports a frame that was correctly length-delimited but
+// failed checksum or structural verification: droppable without closing.
+var errCorruptFrame = errors.New("tcptransport: corrupt frame dropped")
 
-func readFrame(r io.Reader) (from, fromAddr string, payload []byte, sentAt vtime.Time, err error) {
+func readFrame(r io.Reader) (codec.Frame, error) {
 	var hdr [4]byte
-	if _, err = io.ReadFull(r, hdr[:]); err != nil {
-		return "", "", nil, 0, err
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return codec.Frame{}, err
 	}
 	total := binary.BigEndian.Uint32(hdr[:])
-	if total < 12 || total > maxFrame {
-		return "", "", nil, 0, errFrame
+	if total > maxFrame {
+		return codec.Frame{}, fmt.Errorf("tcptransport: frame length %d exceeds limit", total)
 	}
 	buf := make([]byte, total)
-	if _, err = io.ReadFull(r, buf); err != nil {
-		return "", "", nil, 0, err
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return codec.Frame{}, err
 	}
-	sentAt = vtime.Time(binary.BigEndian.Uint64(buf))
-	off := 8
-	fromLen := int(binary.BigEndian.Uint16(buf[off:]))
-	off += 2
-	if off+fromLen+2 > int(total) {
-		return "", "", nil, 0, errFrame
+	f, err := codec.DecodeFrame(buf)
+	if err != nil {
+		return codec.Frame{}, errCorruptFrame
 	}
-	from = string(buf[off : off+fromLen])
-	off += fromLen
-	addrLen := int(binary.BigEndian.Uint16(buf[off:]))
-	off += 2
-	if off+addrLen > int(total) {
-		return "", "", nil, 0, errFrame
-	}
-	fromAddr = string(buf[off : off+addrLen])
-	off += addrLen
-	payload = buf[off:]
-	return from, fromAddr, payload, sentAt, nil
+	return f, nil
 }

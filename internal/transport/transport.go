@@ -63,4 +63,13 @@ type Stats struct {
 	// BytesSent counts payload bytes accepted from senders, including
 	// dropped ones (they consumed wire capacity).
 	BytesSent int64
+	// MessagesDuplicated counts datagrams delivered twice by fault
+	// injection.
+	MessagesDuplicated int64
+	// MessagesReordered counts datagrams displaced out of FIFO order by
+	// fault injection.
+	MessagesReordered int64
+	// MessagesCorrupted counts datagrams delivered with flipped payload
+	// bits by fault injection.
+	MessagesCorrupted int64
 }
