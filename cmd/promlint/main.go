@@ -1,0 +1,45 @@
+// Command promlint validates Prometheus text exposition read from stdin
+// (or from files given as arguments): every line must parse, every sample
+// must belong to a # TYPE'd family, and label syntax/escaping must be
+// well-formed. It is the CI gate the live-cluster smoke pipes each node's
+// /metrics through, so a malformed family fails the build instead of
+// silently breaking scrapers.
+//
+// Usage:
+//
+//	curl -s http://127.0.0.1:6060/metrics | promlint
+//	promlint metrics-a.txt metrics-b.txt
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"versadep/internal/obsplane"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		lint("stdin", os.Stdin)
+		return
+	}
+	for _, path := range os.Args[1:] {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "promlint:", err)
+			os.Exit(1)
+		}
+		lint(path, f)
+		f.Close()
+	}
+}
+
+func lint(name string, r io.Reader) {
+	stats, err := obsplane.ValidateExposition(r)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "promlint: %s: %v\n", name, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: OK (%d families, %d samples)\n", name, stats.Families, stats.Samples)
+}

@@ -34,6 +34,7 @@ import (
 	"versadep/internal/faults/chaos"
 	"versadep/internal/gcs"
 	"versadep/internal/introspect"
+	"versadep/internal/obsplane"
 	"versadep/internal/policy"
 	"versadep/internal/replication"
 	"versadep/internal/replicator"
@@ -62,6 +63,8 @@ type replicaOpts struct {
 	suspectAfter  time.Duration
 	detector      string
 	chaos         string
+	slo           string
+	scrapeEvery   time.Duration
 }
 
 func main() {
@@ -88,12 +91,23 @@ func main() {
 		suspect  = flag.Duration("suspect-after", 0, "failure-detector silence threshold (0 = group default; raise when large transfers may delay heartbeats)")
 		detector = flag.String("detector", "", "failure detector: \"phi\" or \"phi:THRESH\" (accrual suspicion) or \"timeout\" (fixed silence window only); default = group default")
 		chaosArg = flag.String("chaos", "", "perturb this node's outbound wire traffic with chaos faults, \"SPEC[:SEED]\" (e.g. \"drop=0.05,corrupt=0.02:7\"; see internal/faults/chaos)")
+		sloSpec  = flag.String("slo", "", "SLO spec to evaluate over this node's own metrics, e.g. \"p99<50ms,avail>0.999:30s\"; serves /slo and feeds the policy controller's burn-rate signals")
+		scrape   = flag.String("scrape", "", "aggregator role: comma-separated name=http://host:port introspection endpoints to scrape")
+		scrapeEv = flag.Duration("scrape-every", time.Second, "observability sampling/scrape period (replica self-grading and aggregator role)")
 	)
 	flag.Parse()
 	pol := policyOpts{spec: *polSpec, cooldown: *cooldown, every: *adaptEv, spawnCmd: *spawnCmd}
 	rep := replicaOpts{stateBytes: *stateB, transferChunk: *xferChnk, transferWin: *xferWin,
 		dialAttempts: *dialAtt, dialBackoff: *dialBack, suspectAfter: *suspect,
-		detector: *detector, chaos: *chaosArg}
+		detector: *detector, chaos: *chaosArg,
+		slo: *sloSpec, scrapeEvery: *scrapeEv}
+	if *role == "aggregator" {
+		if err := runAggregator(*bind, *scrape, *sloSpec, *scrapeEv); err != nil {
+			fmt.Fprintln(os.Stderr, "vdnode:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*role, *name, *bind, *peersStr, *seedsStr, *members, *style, *requests, *traceDmp, *intro, pol, rep); err != nil {
 		fmt.Fprintln(os.Stderr, "vdnode:", err)
 		os.Exit(1)
@@ -238,8 +252,11 @@ func serveIntrospect(addr string, src introspect.Source, opts ...introspect.Opti
 // replica when a policy spec is given. The controller runs on every
 // replica but is gated to actuate only while this node is the synced
 // primary, so the group has exactly one closed loop at any time (and it
-// migrates with the primary role on failover).
-func startController(node *replicator.ReplicaNode, ep *tcptransport.Endpoint, pol policyOpts) (*policy.Controller, func(), error) {
+// migrates with the primary role on failover). When the replica grades
+// itself against an SLO (-slo), the engine's attainment and burn-rate
+// signals decorate the sensor sample so burn-driven policies (burn=…)
+// can act on them.
+func startController(node *replicator.ReplicaNode, ep *tcptransport.Endpoint, pol policyOpts, slo *obsplane.Engine) (*policy.Controller, func(), error) {
 	if pol.spec == "" {
 		return nil, func() {}, nil
 	}
@@ -268,9 +285,13 @@ func startController(node *replicator.ReplicaNode, ep *tcptransport.Endpoint, po
 			return c.Start()
 		}
 	}
+	sample := node.Sensors(nil)
+	if slo != nil {
+		sample = slo.Signals(sample)
+	}
 	ctrl := policy.New(policy.Config{
 		Policies: policies,
-		Sample:   node.Sensors(nil),
+		Sample:   sample,
 		Actuator: act,
 		Cooldown: pol.cooldown,
 		Gate:     node.PolicyGate(),
@@ -353,13 +374,42 @@ func runReplica(ep *tcptransport.Endpoint, wire transport.MultiEndpoint, cw *cha
 		},
 	})
 	node.Register("Bench", app)
-	ctrl, stopCtrl, err := startController(node, ep, pol)
+
+	// Self-grading observability plane: an in-process aggregator samples
+	// this node's own recorder on a ticker, and an SLO engine grades the
+	// derived series. A replica sees its own turnaround, not the client
+	// round trip, so the grade covers execution latency and served-request
+	// volume; /slo serves the rolling evaluation.
+	var sloEng *obsplane.Engine
+	stopPlane := func() {}
+	var introOpts []introspect.Option
+	if rep.slo != "" {
+		spec, err := obsplane.ParseSLO(rep.slo)
+		if err != nil {
+			node.Leave()
+			return err
+		}
+		width := spec.Window.Nanoseconds() / 5
+		if width < 1 {
+			width = 1
+		}
+		agg := obsplane.NewAggregator(width, 512)
+		agg.Attach(ep.Addr(), node.TraceSnapshot)
+		sloEng = obsplane.NewEngine(agg.Store(), spec)
+		sloEng.SetSeries(obsplane.SeriesExecMicros, obsplane.SeriesServed, obsplane.SeriesBad)
+		stopPlane = agg.Start(rep.scrapeEvery)
+		introOpts = append(introOpts,
+			introspect.WithJSON("/slo", func() any { return sloEng.Status() }))
+		fmt.Printf("[%s] SLO self-grading on (%s), sampling every %v\n", ep.Addr(), spec.Raw, rep.scrapeEvery)
+	}
+	defer stopPlane()
+
+	ctrl, stopCtrl, err := startController(node, ep, pol, sloEng)
 	if err != nil {
 		node.Leave()
 		return err
 	}
 	defer stopCtrl()
-	var introOpts []introspect.Option
 	if ctrl != nil {
 		introOpts = append(introOpts,
 			introspect.WithJSON("/policy", func() any { return ctrl.Status() }))
@@ -450,5 +500,66 @@ func runClient(wire transport.MultiEndpoint, cw *chaoswire.Endpoint, members []s
 	if traceDump {
 		fmt.Printf("trace:\n%s\n", client.TraceSnapshot().JSON())
 	}
+	return nil
+}
+
+// runAggregator is the cluster observability role: it scrapes every
+// target's introspection endpoint on a ticker (validating each /metrics
+// exposition), merges the per-node snapshots, and serves the cluster
+// view — merged /metrics and /trace, stitched cross-node request
+// timelines on /timelines, scrape health on /aggregator, and (when -slo
+// is set) the rolling SLO evaluation of the cluster-derived series on
+// /slo.
+func runAggregator(bind, scrape, sloSpec string, every time.Duration) error {
+	if bind == "" {
+		return fmt.Errorf("-bind is required for the aggregator role")
+	}
+	if scrape == "" {
+		return fmt.Errorf("-scrape is required for the aggregator role (name=http://host:port,...)")
+	}
+	var spec obsplane.Spec
+	if sloSpec != "" {
+		var err error
+		if spec, err = obsplane.ParseSLO(sloSpec); err != nil {
+			return err
+		}
+	}
+	width := int64(time.Second)
+	if spec.Window > 0 {
+		if width = spec.Window.Nanoseconds() / 5; width < 1 {
+			width = 1
+		}
+	}
+	agg := obsplane.NewAggregator(width, 512)
+	for _, pair := range strings.Split(scrape, ",") {
+		name, url, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			return fmt.Errorf("bad scrape target %q (want name=http://host:port)", pair)
+		}
+		agg.AddTarget(name, url)
+	}
+	stop := agg.Start(every)
+	defer stop()
+
+	opts := []introspect.Option{
+		introspect.WithJSON("/timelines", func() any { return agg.Timelines() }),
+		introspect.WithJSON("/aggregator", func() any { return agg.Status() }),
+	}
+	if sloSpec != "" {
+		eng := obsplane.NewEngine(agg.Store(), spec)
+		opts = append(opts, introspect.WithJSON("/slo", func() any { return eng.Status() }))
+	}
+	srv, err := introspect.Start(bind, agg.Merged, opts...)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("aggregator at http://%s/ (/metrics, /trace, /timelines, /slo, /aggregator), scraping every %v\n",
+		srv.Addr(), every)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("aggregator shutting down")
 	return nil
 }

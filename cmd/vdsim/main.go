@@ -23,7 +23,9 @@ import (
 
 	"versadep/internal/experiment"
 	"versadep/internal/gcs"
+	"versadep/internal/introspect"
 	"versadep/internal/monitor"
+	"versadep/internal/obsplane"
 	"versadep/internal/policy"
 	"versadep/internal/replication"
 	"versadep/internal/trace"
@@ -54,6 +56,10 @@ func main() {
 		detector  = flag.String("detector", "", "failure detector: \"phi\" or \"phi:THRESH\" (accrual suspicion) or \"timeout\" (fixed silence window only); default = group default")
 		chaosArg  = flag.String("chaos", "", "inject a deterministic chaos schedule during the run, \"SPEC[:SEED]\" (e.g. \"all:7\" or \"drop=0.1,partition=1\"; see internal/faults/chaos)")
 		chaosFor  = flag.Duration("chaos-for", 500*time.Millisecond, "chaos schedule window (faults injected and healed inside it)")
+		intro     = flag.String("introspect", "", "host:port for a live introspection endpoint over the running simulation (/metrics, /trace, and /slo when -slo is set)")
+		sloSpec   = flag.String("slo", "", "grade the run against an SLO spec, e.g. \"p99<10ms,avail>0.999:25ms\" (windows are virtual time)")
+		timelines = flag.Int("timelines", 0, "print the first N stitched cross-node request timelines")
+		reservoir = flag.Int("reservoir", 0, "latency reservoir capacity: raw samples kept for exact percentiles before uniform subsampling kicks in (0 = default 2048; larger = exacter tails on long runs, more memory)")
 	)
 	flag.Parse()
 	cfg := runConfig{
@@ -65,6 +71,7 @@ func main() {
 		adapt: *adapt, cooldown: *cooldown,
 		stateBytes: *stateB, transferChunk: *xferChunk, transferRetry: *xferRetry,
 		detector: *detector, chaos: *chaosArg, chaosFor: *chaosFor,
+		introspect: *intro, slo: *sloSpec, timelines: *timelines, reservoir: *reservoir,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "vdsim:", err)
@@ -90,6 +97,10 @@ type runConfig struct {
 	detector          string
 	chaos             string
 	chaosFor          time.Duration
+	introspect        string
+	slo               string
+	timelines         int
+	reservoir         int
 }
 
 func run(cfg runConfig) error {
@@ -161,15 +172,51 @@ func run(cfg runConfig) error {
 		}
 	}
 
+	// SLO grading: every reply lands in a windowed store at its virtual
+	// completion instant; the engine evaluates the spec per window and the
+	// whole run at the end.
+	var sloEng *obsplane.Engine
+	var sloStore *obsplane.Store
+	var sloSpec obsplane.Spec
+	if cfg.slo != "" {
+		if sloSpec, err = obsplane.ParseSLO(cfg.slo); err != nil {
+			return err
+		}
+		width := sloSpec.Window.Nanoseconds() / 5
+		if width < 1 {
+			width = 1
+		}
+		sloStore = obsplane.NewStore(width, 512)
+		sloEng = obsplane.NewEngine(sloStore, sloSpec)
+	}
+
+	if cfg.introspect != "" {
+		var iOpts []introspect.Option
+		if sloEng != nil {
+			iOpts = append(iOpts, introspect.WithJSON("/slo", func() any { return sloEng.Status() }))
+		}
+		srv, err := introspect.Start(cfg.introspect, scn.TraceSnapshot, iOpts...)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("introspection at http://%s/ (/metrics, /trace%s)\n",
+			srv.Addr(), map[bool]string{true: ", /slo"}[sloEng != nil])
+	}
+
 	var ctrl *policy.Controller
 	if cfg.adapt != "" {
 		policies, err := policy.ParseSpec(cfg.adapt)
 		if err != nil {
 			return err
 		}
+		sample := scn.Sensors()
+		if sloEng != nil {
+			sample = sloEng.Signals(sample)
+		}
 		ctrl = policy.New(policy.Config{
 			Policies: policies,
-			Sample:   scn.Sensors(),
+			Sample:   sample,
 			Actuator: scn.Actuator(),
 			Cooldown: cfg.cooldown,
 			OnEntry: func(e policy.Entry) {
@@ -182,9 +229,13 @@ func run(cfg runConfig) error {
 		})
 	}
 
-	var lat monitor.LatencyMonitor
+	lat := monitor.NewLatencyMonitor(cfg.reservoir)
 	err = scn.RunClosedLoop(func(i int, vt vtime.Time, rtt vtime.Duration) {
 		lat.Record(rtt)
+		if sloStore != nil {
+			sloStore.Observe(obsplane.SeriesLatencyMicros, int64(vt), rtt.Microseconds())
+			sloStore.Observe(obsplane.SeriesGood, int64(vt), 1)
+		}
 		if switchAt > 0 && i == switchAt && target != 0 {
 			fmt.Printf("  [req %d] switching to %s\n", i, target)
 			scn.Switch(target, vt)
@@ -228,6 +279,27 @@ func run(cfg runConfig) error {
 	fmt.Printf("  bandwidth %.3f MB/s\n", scn.BandwidthMBs())
 	fmt.Printf("  final style %s, faults tolerated %d\n", scn.Style(), len(scn.Members())-1)
 
+	if sloEng != nil {
+		overall := sloEng.Overall()
+		verdict := "MET"
+		for _, ob := range overall.Objectives {
+			if !ob.Compliant {
+				verdict = "VIOLATED"
+			}
+		}
+		fmt.Printf("\nSLO %s: %s\n", sloSpec.Raw, verdict)
+		fmt.Printf("  attainment %.4f  burn %.2f  peak-window burn %.2f\n",
+			overall.Attainment, overall.BurnRate, overall.PeakBurnRate)
+		for _, ob := range overall.Objectives {
+			fmt.Printf("  %-14s attainment %.4f (target %.4f)\n",
+				ob.Objective.Name, ob.Attainment, ob.Objective.Target)
+		}
+	}
+
+	if cfg.timelines > 0 {
+		printStitched(scn.TraceSnapshot(), cfg.timelines)
+	}
+
 	if traceDump {
 		fmt.Printf("\ntrace:\n%s\n", scn.TraceSnapshot().JSON())
 	}
@@ -241,6 +313,28 @@ func run(cfg runConfig) error {
 		printNotices(notices)
 	}
 	return nil
+}
+
+// printStitched renders the first maxReq stitched cross-node request
+// timelines: which nodes each request touched, where it executed, and
+// whether it crossed a failover.
+func printStitched(snap trace.Snapshot, maxReq int) {
+	tls := obsplane.Stitch(snap.Spans)
+	fmt.Printf("\nstitched timelines: %d requests\n", len(tls))
+	shown := tls
+	if len(shown) > maxReq {
+		fmt.Printf("  (showing first %d; raise -timelines for more)\n", maxReq)
+		shown = shown[:maxReq]
+	}
+	for _, tl := range shown {
+		mark := ""
+		if tl.FailedOver {
+			mark = "  FAILED-OVER"
+		}
+		fmt.Printf("  %-24s %8.1fµs  nodes=%s  executed-on=%s%s\n",
+			tl.Trace, tl.Duration().Seconds()*1e6,
+			strings.Join(tl.Nodes, ","), strings.Join(tl.Executors, ","), mark)
+	}
 }
 
 // printSpans renders per-request causal timelines (the paper's Figure 3

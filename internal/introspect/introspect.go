@@ -17,8 +17,10 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
 	"sort"
 	"strings"
+	"time"
 
 	"versadep/internal/trace"
 )
@@ -61,9 +63,26 @@ func WithGauges(fn func() map[string]float64) Option {
 	return func(s *muxState) { s.gauges = append(s.gauges, fn) }
 }
 
+// processGauges samples the process's own health — goroutine count, heap
+// bytes, uptime — so leak detection (a chaos campaign's goroutine or
+// heap creep) is scrapable from /metrics rather than test-only. The
+// start instant is captured when the mux is built, which is when the
+// node's serving life begins.
+func processGauges(start time.Time) func() map[string]float64 {
+	return func() map[string]float64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return map[string]float64{
+			"versadep_process_goroutines":       float64(runtime.NumGoroutine()),
+			"versadep_process_heap_alloc_bytes": float64(ms.HeapAlloc),
+			"versadep_process_uptime_seconds":   time.Since(start).Seconds(),
+		}
+	}
+}
+
 // NewMux builds the introspection handler tree around src.
 func NewMux(src Source, opts ...Option) *http.ServeMux {
-	st := &muxState{mux: http.NewServeMux()}
+	st := &muxState{mux: http.NewServeMux(), gauges: []func() map[string]float64{processGauges(time.Now())}}
 	mux := st.mux
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

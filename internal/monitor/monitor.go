@@ -29,13 +29,22 @@ type LatencyStats struct {
 	P99    vtime.Duration
 }
 
-// ReservoirCap bounds the raw samples a LatencyMonitor retains. Up to the
-// cap the reservoir holds every observation (so small-run percentiles stay
-// exact); beyond it, a deterministic Algorithm-R reservoir keeps a uniform
-// subset for figure rendering while Stats switches to the log-bucketed
-// histogram for P99. This is the documented memory bound: a LatencyMonitor
-// never grows past ReservoirCap samples plus one fixed-size histogram, no
-// matter how long the run.
+// ReservoirCap is the default bound on the raw samples a LatencyMonitor
+// retains (overridable via NewLatencyMonitor). Up to the cap the
+// reservoir holds every observation (so small-run percentiles stay
+// exact); beyond it, a deterministic Algorithm-R reservoir keeps a
+// uniform subset for figure rendering while Stats switches to the
+// log-bucketed histogram for P99. This is the documented memory bound: a
+// LatencyMonitor never grows past its cap in samples plus one fixed-size
+// histogram, no matter how long the run.
+//
+// The cap is the quantile-accuracy knob: while Count <= cap, P99 is
+// exact; past it, P99 degrades to the histogram's ≤12.5% relative error
+// (and the reservoir-rendered figures to a cap-sized uniform subsample,
+// with quantile standard error ~ sqrt(q(1-q)/cap) — ≈0.2% of rank at the
+// default 2048). Raising the cap buys exactness on longer runs at 8
+// bytes per sample; lowering it trades tail fidelity for memory on
+// constrained deployments.
 const ReservoirCap = 2048
 
 // LatencyMonitor aggregates round-trip latencies under bounded memory:
@@ -55,6 +64,24 @@ type LatencyMonitor struct {
 	reservoir []vtime.Duration
 	rng       uint64
 	hist      hist.Histogram
+	// capOverride replaces ReservoirCap when positive (NewLatencyMonitor).
+	capOverride int
+}
+
+// NewLatencyMonitor returns a monitor retaining up to capacity raw
+// samples; capacity <= 0 uses the ReservoirCap default. See ReservoirCap
+// for the accuracy/memory tradeoff the capacity controls.
+func NewLatencyMonitor(capacity int) *LatencyMonitor {
+	return &LatencyMonitor{capOverride: capacity}
+}
+
+// resCap returns the effective reservoir capacity. Caller holds m.mu (or
+// has exclusive access).
+func (m *LatencyMonitor) resCap() int64 {
+	if m.capOverride > 0 {
+		return int64(m.capOverride)
+	}
+	return ReservoirCap
 }
 
 // Record adds one round-trip observation.
@@ -70,12 +97,12 @@ func (m *LatencyMonitor) Record(d vtime.Duration) {
 	if m.count == 1 || d > m.max {
 		m.max = d
 	}
-	if len(m.reservoir) < ReservoirCap {
+	if rc := m.resCap(); int64(len(m.reservoir)) < rc {
 		m.reservoir = append(m.reservoir, d)
 	} else {
 		// Algorithm R: keep each observation with probability cap/count.
 		m.rng = m.rng*6364136223846793005 + 1442695040888963407
-		if j := m.rng % uint64(m.count); j < ReservoirCap {
+		if j := m.rng % uint64(m.count); j < uint64(rc) {
 			m.reservoir[j] = d
 		}
 	}
@@ -135,8 +162,9 @@ func (m *LatencyMonitor) Merge(other *LatencyMonitor) {
 	m.count += count
 	m.sum += sum
 	m.sumsq += sumsq
+	rc := m.resCap()
 	for _, d := range res {
-		if len(m.reservoir) >= ReservoirCap {
+		if int64(len(m.reservoir)) >= rc {
 			break
 		}
 		m.reservoir = append(m.reservoir, d)
@@ -154,7 +182,7 @@ func (m *LatencyMonitor) Stats() LatencyStats {
 	count, sum, sumsq := m.count, m.sum, m.sumsq
 	min, max := m.min, m.max
 	var res []vtime.Duration
-	if count <= ReservoirCap {
+	if count <= m.resCap() {
 		res = append([]vtime.Duration(nil), m.reservoir...)
 	}
 	m.mu.Unlock()

@@ -1,0 +1,218 @@
+package obsplane
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ExpositionStats summarizes a validated Prometheus text exposition.
+type ExpositionStats struct {
+	// Families is the number of distinct metric families seen.
+	Families int
+	// Samples is the number of sample lines.
+	Samples int
+}
+
+// validMetricName reports whether s is a legal Prometheus metric name:
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r == '_' || r == ':'
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelName reports whether s is a legal label name:
+// [a-zA-Z_][a-zA-Z0-9_]*.
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r == '_'
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// familyOf strips the summary/histogram suffixes a sample name may carry
+// so it matches its family's TYPE declaration.
+func familyOf(name string) string {
+	for _, suf := range []string{"_sum", "_count", "_bucket"} {
+		if f, ok := strings.CutSuffix(name, suf); ok && f != "" {
+			return f
+		}
+	}
+	return name
+}
+
+var validTypes = map[string]bool{
+	"counter": true, "gauge": true, "summary": true,
+	"histogram": true, "untyped": true,
+}
+
+// parseLabels validates a {name="value",...} label block, returning the
+// remainder after the closing brace.
+func parseLabels(s string, lineNo int) (rest string, err error) {
+	s = s[1:] // consume '{'
+	for {
+		s = strings.TrimLeft(s, " \t")
+		if strings.HasPrefix(s, "}") {
+			return s[1:], nil
+		}
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return "", fmt.Errorf("line %d: label pair missing '='", lineNo)
+		}
+		lname := strings.TrimSpace(s[:eq])
+		if !validLabelName(lname) {
+			return "", fmt.Errorf("line %d: bad label name %q", lineNo, lname)
+		}
+		s = s[eq+1:]
+		if !strings.HasPrefix(s, `"`) {
+			return "", fmt.Errorf("line %d: label %s value not quoted", lineNo, lname)
+		}
+		// Scan the quoted value honoring \", \\ and \n escapes.
+		i := 1
+		for {
+			if i >= len(s) {
+				return "", fmt.Errorf("line %d: unterminated label value for %s", lineNo, lname)
+			}
+			if s[i] == '\\' {
+				if i+1 >= len(s) || (s[i+1] != '\\' && s[i+1] != '"' && s[i+1] != 'n') {
+					return "", fmt.Errorf("line %d: bad escape in label value for %s", lineNo, lname)
+				}
+				i += 2
+				continue
+			}
+			if s[i] == '"' {
+				break
+			}
+			i++
+		}
+		s = s[i+1:]
+		s = strings.TrimLeft(s, " \t")
+		if strings.HasPrefix(s, ",") {
+			s = s[1:]
+			continue
+		}
+		if strings.HasPrefix(s, "}") {
+			return s[1:], nil
+		}
+		return "", fmt.Errorf("line %d: expected ',' or '}' after label value", lineNo)
+	}
+}
+
+// ValidateExposition parses every line of a Prometheus text exposition
+// and fails on the first malformed family or sample: illegal metric or
+// label names, unquoted or unterminated label values, non-numeric sample
+// values, TYPE lines with unknown types, duplicate TYPE declarations for
+// one family, and samples whose family contradicts an earlier summary or
+// histogram declaration. This is the check the aggregator applies to
+// every node scrape and the live-cluster smoke applies to /metrics — a
+// malformed exposition fails loudly at the source instead of silently
+// dropping series in some downstream scraper.
+func ValidateExposition(r io.Reader) (ExpositionStats, error) {
+	var st ExpositionStats
+	types := make(map[string]string)
+	families := make(map[string]bool)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) < 2 {
+				continue // bare comment
+			}
+			switch fields[1] {
+			case "TYPE":
+				if len(fields) != 4 {
+					return st, fmt.Errorf("line %d: TYPE wants '# TYPE name type'", lineNo)
+				}
+				name, typ := fields[2], fields[3]
+				if !validMetricName(name) {
+					return st, fmt.Errorf("line %d: bad metric name %q in TYPE", lineNo, name)
+				}
+				if !validTypes[typ] {
+					return st, fmt.Errorf("line %d: unknown metric type %q for %s", lineNo, typ, name)
+				}
+				if _, dup := types[name]; dup {
+					return st, fmt.Errorf("line %d: duplicate TYPE for family %s", lineNo, name)
+				}
+				types[name] = typ
+			case "HELP":
+				if len(fields) < 3 {
+					return st, fmt.Errorf("line %d: HELP wants '# HELP name text'", lineNo)
+				}
+				if !validMetricName(fields[2]) {
+					return st, fmt.Errorf("line %d: bad metric name %q in HELP", lineNo, fields[2])
+				}
+			}
+			continue
+		}
+		// Sample line: name[{labels}] value [timestamp]
+		nameEnd := strings.IndexAny(line, "{ \t")
+		if nameEnd < 0 {
+			return st, fmt.Errorf("line %d: sample %q missing value", lineNo, line)
+		}
+		name := line[:nameEnd]
+		if !validMetricName(name) {
+			return st, fmt.Errorf("line %d: bad metric name %q", lineNo, name)
+		}
+		rest := line[nameEnd:]
+		if strings.HasPrefix(rest, "{") {
+			var err error
+			if rest, err = parseLabels(rest, lineNo); err != nil {
+				return st, err
+			}
+		}
+		fields := strings.Fields(rest)
+		if len(fields) < 1 || len(fields) > 2 {
+			return st, fmt.Errorf("line %d: sample %s wants 'value [timestamp]', got %q", lineNo, name, rest)
+		}
+		if _, err := strconv.ParseFloat(fields[0], 64); err != nil {
+			// The exposition format also allows NaN/+Inf/-Inf, which
+			// ParseFloat accepts; anything else is malformed.
+			return st, fmt.Errorf("line %d: bad sample value %q for %s", lineNo, fields[0], name)
+		}
+		if len(fields) == 2 {
+			if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+				return st, fmt.Errorf("line %d: bad timestamp %q for %s", lineNo, fields[1], name)
+			}
+		}
+		fam := name
+		// Suffixed samples belong to their declared summary/histogram
+		// family; a bare name that matches a declared family keeps it.
+		if f := familyOf(name); f != name {
+			if t := types[f]; t == "summary" || t == "histogram" {
+				fam = f
+			}
+		}
+		if !families[fam] {
+			families[fam] = true
+			st.Families++
+		}
+		st.Samples++
+	}
+	if err := sc.Err(); err != nil {
+		return st, err
+	}
+	return st, nil
+}

@@ -1,0 +1,76 @@
+package obsplane
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"versadep/internal/trace"
+)
+
+func TestValidateExpositionAccepts(t *testing.T) {
+	good := `# HELP versadep_orb_invocations versadep counter orb.invocations
+# TYPE versadep_orb_invocations counter
+versadep_orb_invocations 42
+# HELP versadep_orb_rtt_us versadep histogram orb.rtt_us
+# TYPE versadep_orb_rtt_us summary
+versadep_orb_rtt_us{quantile="0.5"} 120
+versadep_orb_rtt_us{quantile="0.99"} 480
+versadep_orb_rtt_us_sum 4200
+versadep_orb_rtt_us_count 30
+# TYPE versadep_process_goroutines gauge
+versadep_process_goroutines 12
+metric_with_timestamp 1.5 1700000000000
+escaped{label="a\"b\\c\nd"} 1
+`
+	st, err := ValidateExposition(strings.NewReader(good))
+	if err != nil {
+		t.Fatalf("valid exposition rejected: %v", err)
+	}
+	if st.Samples != 8 {
+		t.Fatalf("samples = %d, want 8", st.Samples)
+	}
+	if st.Families < 5 {
+		t.Fatalf("families = %d, want >= 5", st.Families)
+	}
+}
+
+func TestValidateExpositionRejects(t *testing.T) {
+	cases := map[string]string{
+		"bad name":        "1bad_name 1\n",
+		"no value":        "metric\n",
+		"bad value":       "metric banana\n",
+		"bad timestamp":   "metric 1 yesterday\n",
+		"bad type":        "# TYPE metric sideways\nmetric 1\n",
+		"short type":      "# TYPE metric\n",
+		"dup type":        "# TYPE m counter\n# TYPE m counter\nm 1\n",
+		"bad label name":  "metric{9bad=\"x\"} 1\n",
+		"unquoted label":  "metric{l=x} 1\n",
+		"unclosed labels": "metric{l=\"x\" 1\n",
+		"unclosed quote":  "metric{l=\"x} 1\n",
+	}
+	for name, body := range cases {
+		if _, err := ValidateExposition(strings.NewReader(body)); err == nil {
+			t.Errorf("%s: accepted %q, want error", name, body)
+		}
+	}
+}
+
+// TestWritePrometheusValidates closes the loop: whatever the trace layer
+// emits — including hostile metric names — must pass the plane's own
+// exposition validator.
+func TestWritePrometheusValidates(t *testing.T) {
+	r := trace.New()
+	r.Counter("orb", "invocations").Add(7)
+	r.Counter(`we"ird`, "na me\nline").Add(1) // hostile key
+	r.Histogram("orb", "rtt_us").Observe(250)
+	r.Histogram(`he"llo\`, "wo rld").Observe(1)
+
+	var buf bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateExposition(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("WritePrometheus output fails validation: %v\n%s", err, buf.String())
+	}
+}

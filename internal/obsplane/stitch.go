@@ -1,0 +1,126 @@
+package obsplane
+
+import (
+	"sort"
+	"strings"
+
+	"versadep/internal/trace/span"
+	"versadep/internal/vtime"
+)
+
+// Timeline is one request's causal timeline stitched across every node
+// that touched it: the client that issued it, the sequencer/primary that
+// ordered it, every replica that executed it, and the replier. The
+// (clientID, reqID) pair riding every VIOP frame is the join key — the
+// same span.RequestTrace identity each node records under locally — so
+// stitching needs no extra protocol metadata and survives failover and
+// style switches (a request replayed by a new primary lands in the same
+// timeline as its original execution).
+type Timeline struct {
+	// Trace is the request trace key ("req:<clientID>#<reqID>").
+	Trace string `json:"trace"`
+	// Client and ReqID are the parsed join key.
+	Client string `json:"client"`
+	ReqID  string `json:"req_id"`
+	// Spans are the stitched spans in causal display order.
+	Spans []span.Span `json:"spans"`
+	// Nodes lists every node contributing spans, in first-appearance
+	// (causal) order — for a failover request: client, old primary, new
+	// primary.
+	Nodes []string `json:"nodes"`
+	// Executors lists the nodes that executed the request's application
+	// work; more than one means the request survived a failover (replay
+	// on the new primary) or ran under active replication.
+	Executors []string `json:"executors"`
+	// Start and End bracket the timeline in virtual time.
+	Start vtime.Time `json:"start"`
+	End   vtime.Time `json:"end"`
+	// FailedOver reports that the timeline crosses a failover: some span
+	// was force-closed by a crash handler or re-answered from the reply
+	// cache of a different node than the first executor.
+	FailedOver bool `json:"failed_over"`
+}
+
+// Duration is the timeline's causal extent.
+func (t Timeline) Duration() vtime.Duration { return t.End.Sub(t.Start) }
+
+// executeSpans name the spans that represent application execution of
+// the request on a node.
+func isExecuteSpan(name string) bool {
+	return name == "app_execute" || name == "replicator_reply"
+}
+
+// Stitch groups request spans (trace keys with the "req:" prefix) by
+// their (clientID, reqID) identity and assembles one cross-node Timeline
+// per request, ordered by first span start. Non-request traces (switch,
+// failover, checkpoint, transfer phases) are ignored — they have their
+// own keys and tooling.
+func Stitch(spans []span.Span) []Timeline {
+	byTrace := make(map[string][]span.Span)
+	var order []string
+	for _, s := range spans {
+		if !strings.HasPrefix(s.Trace, "req:") {
+			continue
+		}
+		if _, ok := byTrace[s.Trace]; !ok {
+			order = append(order, s.Trace)
+		}
+		byTrace[s.Trace] = append(byTrace[s.Trace], s)
+	}
+	out := make([]Timeline, 0, len(order))
+	for _, tk := range order {
+		out = append(out, stitchOne(tk, byTrace[tk]))
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start.Before(out[j].Start)
+		}
+		return out[i].Trace < out[j].Trace
+	})
+	return out
+}
+
+// stitchOne assembles one request's timeline from its spans.
+func stitchOne(tk string, spans []span.Span) Timeline {
+	tl := Timeline{Trace: tk}
+	if rest, ok := strings.CutPrefix(tk, "req:"); ok {
+		if c, r, ok := strings.Cut(rest, "#"); ok {
+			tl.Client, tl.ReqID = c, r
+		}
+	}
+	tl.Spans = span.Timeline(spans, tk)
+	seenNode := make(map[string]bool)
+	seenExec := make(map[string]bool)
+	for i, s := range tl.Spans {
+		if i == 0 || s.Start.Before(tl.Start) {
+			tl.Start = s.Start
+		}
+		if s.End.After(tl.End) {
+			tl.End = s.End
+		}
+		if s.Node != "" && !seenNode[s.Node] {
+			seenNode[s.Node] = true
+			tl.Nodes = append(tl.Nodes, s.Node)
+		}
+		if isExecuteSpan(s.Name) && s.Node != "" && !seenExec[s.Node] {
+			seenExec[s.Node] = true
+			tl.Executors = append(tl.Executors, s.Node)
+		}
+		// Failover evidence: a span force-closed by a crash handler, or a
+		// reply re-answered from the dedup cache of a node other than the
+		// first executor (the replay-then-answer path of a new primary
+		// taking over a request whose original reply died with its
+		// sender). Multiple executors alone are NOT evidence — active
+		// replication executes everywhere by design.
+		if s.Note == "failover" ||
+			(s.Name == "reply_resend" && len(tl.Executors) > 0 && s.Node != tl.Executors[0]) {
+			tl.FailedOver = true
+		}
+	}
+	return tl
+}
+
+// StitchTrace assembles the timeline of a single request trace key.
+func StitchTrace(spans []span.Span, tk string) Timeline {
+	return stitchOne(tk, span.Timeline(spans, tk))
+}

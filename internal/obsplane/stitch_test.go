@@ -1,0 +1,87 @@
+package obsplane
+
+import (
+	"testing"
+
+	"versadep/internal/trace/span"
+	"versadep/internal/vtime"
+)
+
+func TestStitchGroupsByRequest(t *testing.T) {
+	spans := []span.Span{
+		{Trace: "req:c1#2", Name: "client_invoke", Node: "client-1", Start: 100, End: 500},
+		{Trace: "req:c1#1", Name: "client_invoke", Node: "client-1", Start: 0, End: 90},
+		{Trace: "req:c1#1", Name: "app_execute", Node: "replica-a", Start: 30, End: 60},
+		{Trace: "req:c1#2", Name: "app_execute", Node: "replica-a", Start: 200, End: 260},
+		{Trace: "switch", Name: "switch", Node: "replica-a", Start: 0, End: 10}, // not a request
+	}
+	tls := Stitch(spans)
+	if len(tls) != 2 {
+		t.Fatalf("timelines = %d, want 2", len(tls))
+	}
+	// Ordered by start: req 1 first.
+	if tls[0].Trace != "req:c1#1" || tls[1].Trace != "req:c1#2" {
+		t.Fatalf("order = %s, %s", tls[0].Trace, tls[1].Trace)
+	}
+	tl := tls[0]
+	if tl.Client != "c1" || tl.ReqID != "1" {
+		t.Fatalf("join key = %q/%q", tl.Client, tl.ReqID)
+	}
+	if tl.Start != 0 || tl.End != 90 {
+		t.Fatalf("extent = [%v,%v]", tl.Start, tl.End)
+	}
+	if len(tl.Nodes) != 2 || tl.Nodes[0] != "client-1" || tl.Nodes[1] != "replica-a" {
+		t.Fatalf("nodes = %v", tl.Nodes)
+	}
+	if len(tl.Executors) != 1 || tl.Executors[0] != "replica-a" {
+		t.Fatalf("executors = %v", tl.Executors)
+	}
+	if tl.FailedOver {
+		t.Fatal("clean request flagged as failed over")
+	}
+}
+
+func TestStitchFailoverEvidence(t *testing.T) {
+	// A request executed on the old primary whose reply died with it, then
+	// replayed and re-answered from the new primary's dedup cache.
+	spans := []span.Span{
+		{Trace: "req:c1#7", Name: "client_invoke", Node: "client-1", Start: 0, End: 900},
+		{Trace: "req:c1#7", Name: "app_execute", Node: "replica-a", Start: 100, End: 150},
+		{Trace: "req:c1#7", Name: "app_execute", Node: "replica-b", Start: 400, End: 450},
+		{Trace: "req:c1#7", Name: "reply_resend", Node: "replica-b", Start: 700, End: 710, Note: "dedup"},
+	}
+	tl := StitchTrace(spans, "req:c1#7")
+	if !tl.FailedOver {
+		t.Fatal("failover request not flagged")
+	}
+	if len(tl.Executors) != 2 {
+		t.Fatalf("executors = %v", tl.Executors)
+	}
+
+	// Active replication: multiple executors but the resend (if any) comes
+	// from the first executor — NOT failover.
+	active := []span.Span{
+		{Trace: "req:c1#8", Name: "app_execute", Node: "replica-a", Start: 0, End: 10},
+		{Trace: "req:c1#8", Name: "app_execute", Node: "replica-b", Start: 0, End: 10},
+		{Trace: "req:c1#8", Name: "app_execute", Node: "replica-c", Start: 0, End: 10},
+		{Trace: "req:c1#8", Name: "reply_resend", Node: "replica-a", Start: 20, End: 21, Note: "dedup"},
+	}
+	if tl := StitchTrace(active, "req:c1#8"); tl.FailedOver {
+		t.Fatal("active replication flagged as failover")
+	}
+
+	// A span force-closed with the "failover" note is direct evidence.
+	forced := []span.Span{
+		{Trace: "req:c1#9", Name: "replicator_reply", Node: "replica-b", Start: 0, End: 10, Note: "failover"},
+	}
+	if tl := StitchTrace(forced, "req:c1#9"); !tl.FailedOver {
+		t.Fatal("failover note not honored")
+	}
+}
+
+func TestStitchDuration(t *testing.T) {
+	tl := Timeline{Start: vtime.Time(100), End: vtime.Time(350)}
+	if d := tl.Duration(); d != vtime.Duration(250) {
+		t.Fatalf("duration = %v", d)
+	}
+}

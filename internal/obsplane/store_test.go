@@ -1,0 +1,180 @@
+package obsplane
+
+import (
+	"testing"
+
+	"versadep/internal/trace/hist"
+)
+
+func TestStoreWindowing(t *testing.T) {
+	s := NewStore(100, 4) // 100ns windows, 4 retained
+	s.Observe("lat", 10, 5)
+	s.Observe("lat", 20, 7)
+	s.Observe("lat", 150, 9) // next window
+
+	wins := s.Windows("lat")
+	if len(wins) != 2 {
+		t.Fatalf("windows = %d, want 2", len(wins))
+	}
+	w0 := wins[0]
+	if w0.Start != 0 || w0.Count != 2 || w0.Sum != 12 || w0.Min != 5 || w0.Max != 7 || w0.Last != 7 {
+		t.Fatalf("first window = %+v", w0)
+	}
+	w1 := wins[1]
+	if w1.Start != 100 || w1.Count != 1 || w1.Sum != 9 {
+		t.Fatalf("second window = %+v", w1)
+	}
+	if m := w0.Mean(); m != 6 {
+		t.Fatalf("mean = %v, want 6", m)
+	}
+}
+
+func TestStoreGapMaterialization(t *testing.T) {
+	s := NewStore(100, 8)
+	s.Observe("x", 50, 1)
+	s.Observe("x", 350, 2) // skips windows [100,200) and [200,300)
+	wins := s.Windows("x")
+	if len(wins) != 4 {
+		t.Fatalf("windows = %d, want 4 (gaps materialized)", len(wins))
+	}
+	if wins[1].Count != 0 || wins[2].Count != 0 {
+		t.Fatalf("gap windows not empty: %+v %+v", wins[1], wins[2])
+	}
+	if wins[1].Start != 100 || wins[2].Start != 200 {
+		t.Fatalf("gap starts = %d,%d", wins[1].Start, wins[2].Start)
+	}
+}
+
+func TestStoreEviction(t *testing.T) {
+	s := NewStore(10, 3)
+	for i := int64(0); i < 6; i++ {
+		s.Observe("x", i*10, i)
+	}
+	wins := s.Windows("x")
+	if len(wins) != 3 {
+		t.Fatalf("windows = %d, want 3", len(wins))
+	}
+	if wins[0].Start != 30 || wins[2].Start != 50 {
+		t.Fatalf("retained range [%d,%d], want [30,50]", wins[0].Start, wins[2].Start)
+	}
+}
+
+func TestStoreOutOfOrder(t *testing.T) {
+	s := NewStore(100, 4)
+	s.Observe("x", 50, 1)
+	s.Observe("x", 250, 1) // materializes [100,200) as a gap window
+	s.Observe("x", 120, 5) // out-of-order: backfills the gap window
+	wins := s.Windows("x")
+	if len(wins) != 3 {
+		t.Fatalf("windows = %d, want 3", len(wins))
+	}
+	if wins[1].Start != 100 || wins[1].Count != 1 || wins[1].Sum != 5 {
+		t.Fatalf("backfilled window = %+v", wins[1])
+	}
+
+	// Older than the horizon: silently dropped.
+	s2 := NewStore(10, 2)
+	s2.Observe("y", 100, 1)
+	s2.Observe("y", 0, 9)
+	if got := s2.Rollup("y", 0).Sum; got != 1 {
+		t.Fatalf("rollup sum = %d, want 1 (ancient observation dropped)", got)
+	}
+}
+
+func TestStoreRollupAndQuantile(t *testing.T) {
+	s := NewStore(100, 8)
+	for i := int64(1); i <= 100; i++ {
+		s.Observe("lat", i, i) // all in window 0 except i=100? 100/100=1 → window 1
+	}
+	roll := s.Rollup("lat", 0)
+	if roll.Count != 100 {
+		t.Fatalf("rollup count = %d, want 100", roll.Count)
+	}
+	q := roll.Quantile(0.5)
+	if q < 30 || q > 80 {
+		t.Fatalf("p50 = %d, want around 50 (≤12.5%% bucket error)", q)
+	}
+	// lastN restricts the merge to the newest windows.
+	if n := s.Rollup("lat", 1).Count; n != 1 {
+		t.Fatalf("last-window rollup count = %d, want 1", n)
+	}
+}
+
+func TestStoreObserveHist(t *testing.T) {
+	var h hist.Histogram
+	h.Observe(10)
+	h.Observe(20)
+	h.Observe(30)
+	s := NewStore(1000, 4)
+	s.ObserveHist("lat", 5, h.Snapshot())
+	roll := s.Rollup("lat", 0)
+	if roll.Count != 3 || roll.Sum != 60 || roll.Min != 10 || roll.Max != 30 {
+		t.Fatalf("hist fold = %+v", roll)
+	}
+}
+
+func TestStoreNilSafe(t *testing.T) {
+	var s *Store
+	s.Observe("x", 1, 1)
+	s.ObserveHist("x", 1, hist.Snapshot{Count: 1})
+	s.Gauge("x", 1, 1)
+	if s.Names() != nil || s.Windows("x") != nil || s.Dump() != nil || s.Width() != 0 {
+		t.Fatal("nil store should be inert")
+	}
+}
+
+func TestStoreDumpDeterministic(t *testing.T) {
+	s := NewStore(10, 2)
+	s.Observe("zeta", 1, 1)
+	s.Observe("alpha", 1, 1)
+	d := s.Dump()
+	if len(d) != 2 || d[0].Name != "alpha" || d[1].Name != "zeta" {
+		t.Fatalf("dump order = %v", []string{d[0].Name, d[1].Name})
+	}
+}
+
+// TestStoreRollupDoesNotCorruptWindows is the regression test for the
+// mid-run rollup aliasing bug: Windows used to return WindowStat copies
+// whose histogram bucket slices still pointed into the live ring, so a
+// rollup's in-place merge rewrote the store's own buckets. The symptom
+// was a store whose Sum/Count (by-value scalars) stayed correct while
+// quantiles and FractionBelow — anything bucket-derived — went silently
+// wrong after the first interleaved rollup.
+func TestStoreRollupDoesNotCorruptWindows(t *testing.T) {
+	s := NewStore(10, 8)
+	// Two populated windows so the rollup's second Merge mutates the
+	// accumulator seeded from the first.
+	s.Observe("lat", 5, 100)
+	s.Observe("lat", 15, 200000)
+
+	before := s.Rollup("lat", 0)
+	// Interleave more rollups (a policy controller stepping mid-run) and
+	// more observations.
+	for i := 0; i < 5; i++ {
+		_ = s.Rollup("lat", 0)
+		s.Observe("lat", int64(25+10*i), 100)
+	}
+	after := s.Rollup("lat", 0)
+
+	if got := before.Hist.FractionBelow(1000); got < 0.49 || got > 0.51 {
+		t.Fatalf("first rollup FractionBelow(1000) = %v, want 0.5", got)
+	}
+	if after.Count != 7 {
+		t.Fatalf("final rollup count = %d, want 7", after.Count)
+	}
+	var bucketTotal int64
+	for _, b := range after.Hist.Buckets {
+		bucketTotal += b.Count
+	}
+	if bucketTotal != after.Hist.Count || after.Hist.Count != 7 {
+		t.Fatalf("final rollup hist count = %d, bucket total = %d, want 7 each",
+			after.Hist.Count, bucketTotal)
+	}
+	// The slow sample must still be visible to quantile math.
+	if q := after.Quantile(1); q != 200000 {
+		t.Fatalf("max quantile = %d, want 200000", q)
+	}
+	if got := after.Hist.FractionBelow(1000); got < 0.85 || got > 0.87 {
+		t.Fatalf("final FractionBelow(1000) = %v, want 6/7", got)
+	}
+}

@@ -48,6 +48,13 @@ type Signals struct {
 	// which has no dials).
 	DialAttempts  int `json:"dial_attempts,omitempty"`
 	DialBackoffMs int `json:"dial_backoff_ms,omitempty"`
+	// SLOAttainment and SLOBurnRate are the observability plane's SLO
+	// evaluation over the last window: the worst objective attainment in
+	// [0,1] and the hottest error-budget burn rate (1.0 = consuming the
+	// budget exactly at the sustainable pace). Both zero when no SLO
+	// engine feeds the sampler or nothing has been graded yet.
+	SLOAttainment float64 `json:"slo_attainment,omitempty"`
+	SLOBurnRate   float64 `json:"slo_burn_rate,omitempty"`
 }
 
 // Decision is one policy's opinion on the low-level knobs. Zero fields
@@ -311,6 +318,77 @@ func (p LinkRetry) Decide(sig Signals) Decision {
 	}
 }
 
+// -------------------------------------------------------------- BudgetBurn
+
+// BudgetBurn reacts to SLO error-budget burn rather than raw rates: when
+// the observability plane reports the budget burning hotter than Hot, it
+// escalates dependability — first switching to active replication (no
+// failover gap to burn latency budget on), then growing the group — and
+// when the burn cools below Calm it relaxes back to warm passive. This
+// is the paper's adaptation loop driven by the objective itself instead
+// of a proxy signal: the same controller machinery, but the trigger is
+// "we are eating our error budget", not "the rate crossed a number".
+type BudgetBurn struct {
+	// Hot is the burn rate above which to escalate (default 2: budget
+	// exhausted in half the window at the current pace).
+	Hot float64
+	// Calm is the burn rate below which to relax (default 0.25).
+	Calm float64
+	// MaxReplicas bounds escalation growth (default 5).
+	MaxReplicas int
+}
+
+// Name implements Policy.
+func (BudgetBurn) Name() string { return "budget-burn" }
+
+// Decide implements Policy. Without an SLO evaluation in the signals
+// (attainment zero) there is no opinion.
+func (p BudgetBurn) Decide(sig Signals) Decision {
+	if sig.SLOAttainment <= 0 {
+		return Decision{}
+	}
+	hot := p.Hot
+	if hot <= 0 {
+		hot = 2
+	}
+	calm := p.Calm
+	if calm <= 0 {
+		calm = 0.25
+	}
+	maxR := p.MaxReplicas
+	if maxR <= 0 {
+		maxR = 5
+	}
+	if sig.SLOBurnRate >= hot {
+		if sig.Style != replication.Active {
+			return Decision{
+				Style: replication.Active,
+				Reason: fmt.Sprintf("SLO burn %.2f above %.2f (attainment %.4f): active replication",
+					sig.SLOBurnRate, hot, sig.SLOAttainment),
+			}
+		}
+		if sig.Replicas > 0 && sig.Replicas < maxR {
+			return Decision{
+				Replicas:    sig.Replicas + 1,
+				MinReplicas: sig.Replicas + 1,
+				Reason: fmt.Sprintf("SLO burn %.2f above %.2f: growing to %d replicas",
+					sig.SLOBurnRate, hot, sig.Replicas+1),
+			}
+		}
+		// Already at maximum dependability: hold the floor so nothing
+		// below this policy sheds capacity mid-burn.
+		return Decision{MinReplicas: sig.Replicas}
+	}
+	if sig.SLOBurnRate <= calm && sig.Style == replication.Active {
+		return Decision{
+			Style: replication.WarmPassive,
+			Reason: fmt.Sprintf("SLO burn %.2f below %.2f: warm passive suffices",
+				sig.SLOBurnRate, calm),
+		}
+	}
+	return Decision{}
+}
+
 // ---------------------------------------------------------------- ParseSpec
 
 // ParseSpec builds a policy stack from a comma-separated spec in priority
@@ -321,6 +399,8 @@ func (p LinkRetry) Decide(sig Signals) Decision {
 //	bwcap=MBS[:MINREPLICAS]     ResourceCap        (e.g. bwcap=3:2)
 //	linkretry=THRESH[:FAULTY[:CALM]]
 //	                            LinkRetry          (e.g. linkretry=0.99:12:4)
+//	burn=HOT[:CALM[:MAXREPLICAS]]
+//	                            BudgetBurn         (e.g. burn=2:0.25:5)
 //
 // Put avail before bwcap so the availability floor caps the shedding.
 func ParseSpec(spec string) ([]Policy, error) {
@@ -414,8 +494,32 @@ func ParseSpec(spec string) ([]Policy, error) {
 				p.CalmAttempts = ca
 			}
 			out = append(out, p)
+		case "burn":
+			if len(parts) < 1 || len(parts) > 3 {
+				return nil, fmt.Errorf("policy: burn wants HOT[:CALM[:MAXREPLICAS]] in %q", entry)
+			}
+			hot, err := num(0)
+			if err != nil {
+				return nil, err
+			}
+			p := BudgetBurn{Hot: hot}
+			if len(parts) >= 2 {
+				calm, err := num(1)
+				if err != nil {
+					return nil, err
+				}
+				p.Calm = calm
+			}
+			if len(parts) == 3 {
+				maxR, err := strconv.Atoi(parts[2])
+				if err != nil || maxR < 1 {
+					return nil, fmt.Errorf("policy: bad max replicas %q in %q", parts[2], entry)
+				}
+				p.MaxReplicas = maxR
+			}
+			out = append(out, p)
 		default:
-			return nil, fmt.Errorf("policy: unknown policy %q (want rate, avail, bwcap, or linkretry)", name)
+			return nil, fmt.Errorf("policy: unknown policy %q (want rate, avail, bwcap, linkretry, or burn)", name)
 		}
 	}
 	if len(out) == 0 {

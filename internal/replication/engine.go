@@ -935,12 +935,23 @@ func (e *Engine) replayLog(vt vtime.Time) vtime.Time {
 		}
 		if rid <= e.highExec[cid] {
 			if cached, ok := e.replyCache[cid][rid]; ok {
+				// Component-less and noted "failover": the cross-node
+				// stitcher uses the note to mark the request's timeline as
+				// crossing a failover, and an empty Comp keeps the resend
+				// out of the request's cost breakdown.
+				if e.spans.On() {
+					e.spans.Annotate(span.RequestTrace(cid, rid), "reply_resend", "", vt, vt, 0, "failover")
+				}
 				_ = e.member.SendDirect(cid, cached, vt, vtime.Ledger{})
 				e.cCacheHits.Inc()
 			}
 			continue
 		}
+		start := vt
 		vt = e.execute(le.viop, cid, rid, vt, vtime.Ledger{})
+		if e.spans.On() {
+			e.spans.Annotate(span.RequestTrace(cid, rid), "replayed", "", start, vt, 0, "failover")
+		}
 		e.lastExecSeq = le.seq
 	}
 	return vt

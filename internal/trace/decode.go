@@ -1,0 +1,57 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"versadep/internal/trace/hist"
+	"versadep/internal/trace/span"
+)
+
+// snapshotWire mirrors the shape Snapshot.JSON emits: counters and
+// histograms as ordered name/value lists rather than maps, so dumps diff
+// cleanly. ParseSnapshotJSON folds that shape back into a Snapshot.
+type snapshotWire struct {
+	Counters []struct {
+		Name  string `json:"name"`
+		Value int64  `json:"value"`
+	} `json:"counters"`
+	Events        []Event `json:"events,omitempty"`
+	EventsDropped int     `json:"events_dropped,omitempty"`
+	Histograms    []struct {
+		Name string        `json:"name"`
+		Hist hist.Snapshot `json:"hist"`
+	} `json:"histograms,omitempty"`
+	Spans        []span.Span `json:"spans,omitempty"`
+	SpansDropped int         `json:"spans_dropped,omitempty"`
+	SpansOpen    int         `json:"spans_open,omitempty"`
+}
+
+// ParseSnapshotJSON decodes the output of Snapshot.JSON — the format the
+// /trace introspection endpoint serves — back into a Snapshot, so a
+// cluster aggregator can scrape remote nodes and merge or diff their
+// registries exactly as it would local ones.
+func ParseSnapshotJSON(data []byte) (Snapshot, error) {
+	var w snapshotWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return Snapshot{}, fmt.Errorf("trace: bad snapshot JSON: %w", err)
+	}
+	s := Snapshot{
+		Counters:      make(map[string]int64, len(w.Counters)),
+		Events:        w.Events,
+		EventsDropped: w.EventsDropped,
+		Spans:         w.Spans,
+		SpansDropped:  w.SpansDropped,
+		SpansOpen:     w.SpansOpen,
+	}
+	for _, kv := range w.Counters {
+		s.Counters[kv.Name] = kv.Value
+	}
+	if len(w.Histograms) > 0 {
+		s.Histograms = make(map[string]hist.Snapshot, len(w.Histograms))
+		for _, hkv := range w.Histograms {
+			s.Histograms[hkv.Name] = hkv.Hist
+		}
+	}
+	return s, nil
+}

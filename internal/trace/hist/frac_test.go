@@ -1,0 +1,51 @@
+package hist
+
+import "testing"
+
+func TestBucketIndexRangeInverse(t *testing.T) {
+	for _, v := range []int64{0, 1, 2, 7, 8, 100, 1023, 1024, 1 << 40} {
+		i := BucketIndex(v)
+		low, high := BucketRange(i)
+		if v < low || v > high {
+			t.Fatalf("value %d not in its bucket [%d,%d] (index %d)", v, low, high, i)
+		}
+	}
+	if BucketIndex(-5) != BucketIndex(0) {
+		t.Fatal("negative values should clamp to the zero bucket")
+	}
+}
+
+func TestFractionBelow(t *testing.T) {
+	var h Histogram
+	// 90 values at 100, 10 values at 100000.
+	for i := 0; i < 90; i++ {
+		h.Observe(100)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(100_000)
+	}
+	s := h.Snapshot()
+	if f := s.FractionBelow(1000); f < 0.85 || f > 0.95 {
+		t.Fatalf("FractionBelow(1000) = %v, want ~0.9", f)
+	}
+	if f := s.FractionBelow(1 << 40); f != 1 {
+		t.Fatalf("FractionBelow(huge) = %v, want 1", f)
+	}
+	if f := s.FractionBelow(-1); f != 0 {
+		t.Fatalf("FractionBelow(-1) = %v, want 0", f)
+	}
+	if f := (Snapshot{}).FractionBelow(10); f != 0 {
+		t.Fatalf("empty FractionBelow = %v, want 0", f)
+	}
+	// A threshold inside a bucket interpolates between its bounds.
+	var h2 Histogram
+	for i := 0; i < 100; i++ {
+		h2.Observe(1000)
+	}
+	s2 := h2.Snapshot()
+	low, high := BucketRange(BucketIndex(1000))
+	mid := (low + high) / 2
+	if f := s2.FractionBelow(mid); f <= 0 || f >= 1 {
+		t.Fatalf("mid-bucket FractionBelow = %v, want interpolated in (0,1)", f)
+	}
+}

@@ -167,6 +167,29 @@ func (h *Histogram) Quantile(q float64) int64 {
 	return h.Snapshot().Quantile(q)
 }
 
+// BucketIndex maps a value to the bucket it lands in (negatives clamp to
+// zero) — the inverse of BucketRange, letting external stores build
+// mergeable Snapshots one observation at a time.
+func BucketIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	return bucketIndex(v)
+}
+
+// BucketRange returns the closed value range [low, high] covered by
+// bucket i — the resolution boundary consumers (quantile estimators,
+// SLO attainment math) need to reason about partial buckets.
+func BucketRange(i int) (low, high int64) {
+	if i < 0 {
+		return 0, 0
+	}
+	if i >= nBuckets {
+		i = nBuckets - 1
+	}
+	return bucketLow(i), bucketHigh(i)
+}
+
 // Bucket is one non-empty bucket in a Snapshot.
 type Bucket struct {
 	// Index is the bucket's position in the log-linear layout.
@@ -206,7 +229,12 @@ func (h *Histogram) Snapshot() Snapshot {
 	return s
 }
 
-// Merge folds other into s (cross-process aggregation).
+// Merge folds other into s (cross-process aggregation). The rebuilt
+// bucket list is always freshly allocated: snapshots are routinely
+// shallow-copied (a store rollup starts from a copied WindowStat whose
+// Buckets header still points at the source's array), so reusing
+// s.Buckets' backing array here would rewrite the source snapshot's
+// buckets in place.
 func (s *Snapshot) Merge(other Snapshot) {
 	if other.Count == 0 {
 		return
@@ -230,12 +258,22 @@ func (s *Snapshot) Merge(other Snapshot) {
 	for _, b := range other.Buckets {
 		merged[b.Index] += b.Count
 	}
-	s.Buckets = s.Buckets[:0]
+	s.Buckets = make([]Bucket, 0, len(merged))
 	for i := 0; i < nBuckets; i++ {
 		if n := merged[i]; n > 0 {
 			s.Buckets = append(s.Buckets, Bucket{Index: i, Count: n})
 		}
 	}
+}
+
+// Clone returns a deep copy of the snapshot (the bucket list shares no
+// backing array with s).
+func (s Snapshot) Clone() Snapshot {
+	out := s
+	if len(s.Buckets) > 0 {
+		out.Buckets = append([]Bucket(nil), s.Buckets...)
+	}
+	return out
 }
 
 // Quantile estimates the q-quantile of the snapshot's population. The
@@ -270,6 +308,38 @@ func (s Snapshot) Quantile(q float64) int64 {
 		}
 	}
 	return s.Max
+}
+
+// FractionBelow estimates the fraction of observations at or below v —
+// the SLO-attainment primitive ("what share of requests finished within
+// the threshold"). Buckets entirely below v count fully; the bucket
+// straddling v contributes linearly by its overlap, so the estimate
+// inherits the histogram's ≤12.5% relative resolution. Returns 0 on an
+// empty snapshot.
+func (s Snapshot) FractionBelow(v int64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if v < 0 {
+		return 0
+	}
+	var good float64
+	for _, b := range s.Buckets {
+		low, high := BucketRange(b.Index)
+		switch {
+		case high <= v:
+			good += float64(b.Count)
+		case low > v:
+			// past the threshold; later buckets are higher still
+		default:
+			good += float64(b.Count) * float64(v-low+1) / float64(high-low+1)
+		}
+	}
+	f := good / float64(s.Count)
+	if f > 1 {
+		f = 1
+	}
+	return f
 }
 
 // Mean returns the average observation, zero when empty.

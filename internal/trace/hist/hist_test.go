@@ -159,3 +159,34 @@ func BenchmarkNilObserve(b *testing.B) {
 		h.Observe(int64(i))
 	}
 }
+
+// TestMergeDoesNotAliasSource checks that merging never rewrites a
+// shallow-copied source snapshot's bucket array: the rebuilt list must be
+// freshly allocated, and Clone must fully detach.
+func TestMergeDoesNotAliasSource(t *testing.T) {
+	var h Histogram
+	h.Observe(4)
+	h.Observe(100)
+	src := h.Snapshot()
+
+	shallow := src // copies the slice header, not the array
+	var big Histogram
+	big.Observe(1 << 30)
+	shallow.Merge(big.Snapshot())
+
+	if src.Count != 2 || len(src.Buckets) != 2 {
+		t.Fatalf("source snapshot mutated by merge: %+v", src)
+	}
+	if src.Quantile(1) != 100 {
+		t.Fatalf("source max = %d after merge, want 100", src.Quantile(1))
+	}
+
+	cl := src.Clone()
+	cl.Merge(big.Snapshot())
+	if src.Count != 2 || src.Quantile(1) != 100 {
+		t.Fatalf("source snapshot mutated through clone: %+v", src)
+	}
+	if cl.Count != 3 || cl.Quantile(1) < 1<<30 {
+		t.Fatalf("clone merge wrong: %+v", cl)
+	}
+}

@@ -16,10 +16,10 @@ import (
 func TestMergeConflictingCounterNames(t *testing.T) {
 	a, b := New(), New()
 	a.Counter(SubGCS, "retransmits").Add(3)
-	b.Counter(SubGCS, "retransmits").Add(4)   // same key on both nodes
-	a.Counter(SubORB, "retransmits").Add(10)  // same leaf name, other subsystem
-	b.Counter(SubGCS, "view_changes").Add(1)  // only on b
-	a.Counter(SubReplication, "failovers")    // registered but zero on a
+	b.Counter(SubGCS, "retransmits").Add(4)  // same key on both nodes
+	a.Counter(SubORB, "retransmits").Add(10) // same leaf name, other subsystem
+	b.Counter(SubGCS, "view_changes").Add(1) // only on b
+	a.Counter(SubReplication, "failovers")   // registered but zero on a
 	b.Counter(SubReplication, "failovers").Inc()
 
 	m := Merge(a.Snapshot(), b.Snapshot())

@@ -26,10 +26,28 @@ func promName(key string) string {
 	return b.String()
 }
 
+// escapeHelp escapes a HELP comment per the exposition format: backslash
+// and newline must be escaped so the help text stays on one line.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabelValue escapes a label value per the exposition format:
+// backslash, double quote and newline.
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
 // WritePrometheus renders the snapshot in the Prometheus text exposition
-// format: every counter as an untyped sample, every histogram as a
-// summary with quantile lines plus _sum and _count. Output is sorted by
-// metric name, so scrapes are deterministic for a given snapshot.
+// format: every counter as a typed sample with a HELP line carrying the
+// registry key, every histogram as a summary with quantile lines plus
+// _sum and _count. Registry keys pass through escapeHelp, and quantile
+// labels through escapeLabelValue, so arbitrary subsystem/metric names
+// can never produce a malformed exposition. Output is sorted by metric
+// name, so scrapes are deterministic for a given snapshot.
 func (s Snapshot) WritePrometheus(w io.Writer) error {
 	keys := make([]string, 0, len(s.Counters))
 	for k := range s.Counters {
@@ -38,7 +56,8 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 	sort.Strings(keys)
 	for _, k := range keys {
 		name := promName(k)
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, s.Counters[k]); err != nil {
+		if _, err := fmt.Fprintf(w, "# HELP %s versadep counter %s\n# TYPE %s counter\n%s %d\n",
+			name, escapeHelp(k), name, name, s.Counters[k]); err != nil {
 			return err
 		}
 	}
@@ -50,11 +69,13 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 	for _, k := range hkeys {
 		h := s.Histograms[k]
 		name := promName(k)
-		if _, err := fmt.Fprintf(w, "# TYPE %s summary\n", name); err != nil {
+		if _, err := fmt.Fprintf(w, "# HELP %s versadep histogram %s\n# TYPE %s summary\n",
+			name, escapeHelp(k), name); err != nil {
 			return err
 		}
 		for _, q := range promQuantiles {
-			if _, err := fmt.Fprintf(w, "%s{quantile=%q} %d\n", name, fmt.Sprintf("%g", q), h.Quantile(q)); err != nil {
+			if _, err := fmt.Fprintf(w, "%s{quantile=\"%s\"} %d\n",
+				name, escapeLabelValue(fmt.Sprintf("%g", q)), h.Quantile(q)); err != nil {
 				return err
 			}
 		}

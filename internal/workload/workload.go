@@ -13,6 +13,7 @@ package workload
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"versadep/internal/codec"
 	"versadep/internal/monitor"
@@ -185,10 +186,23 @@ type OpenLoop struct {
 	// MaxOutstanding caps concurrent in-flight invocations (real
 	// concurrency; default 64).
 	MaxOutstanding int
+	// RealPace throttles submission in real time: one virtual second of
+	// arrival schedule takes this much real time to offer. Zero submits
+	// as fast as MaxOutstanding allows — fine for throughput runs, but a
+	// burst reaches the fabric in an order unrelated to the virtual
+	// stamps, so later-stamped arrivals drag every node's monotonic
+	// virtual clock forward and earlier-stamped requests absorb the jump
+	// as spurious latency. Runs whose virtual latencies are graded (SLO
+	// experiments) must pace.
+	RealPace time.Duration
 	// OnReply, if set, observes each completed request (virtual arrival
 	// time of the request and its outcome). Called from worker
 	// goroutines.
 	OnReply func(sentVT vtime.Time, out *orb.Outcome)
+	// OnError, if set, observes each failed invocation (virtual arrival
+	// time and the error). Called from worker goroutines; SLO graders use
+	// it to place bad outcomes in the right time window.
+	OnError func(sentVT vtime.Time, err error)
 }
 
 // Run executes the profile and returns aggregate results.
@@ -209,6 +223,10 @@ func (o OpenLoop) Run() *Result {
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, maxOut)
 
+	var epoch time.Time
+	if o.RealPace > 0 {
+		epoch = time.Now()
+	}
 	vt := o.StartVT
 	args := []interface{}{[]byte(make([]byte, o.RequestBytes))}
 	for _, ph := range o.Phases {
@@ -219,6 +237,13 @@ func (o OpenLoop) Run() *Result {
 		for i := 0; i < ph.Requests; i++ {
 			arrive := vt
 			vt = vt.Add(gap)
+			if o.RealPace > 0 {
+				offset := float64(arrive.Sub(o.StartVT)) / float64(vtime.Second)
+				due := epoch.Add(time.Duration(offset * float64(o.RealPace)))
+				if d := time.Until(due); d > 0 {
+					time.Sleep(d)
+				}
+			}
 			sem <- struct{}{}
 			wg.Add(1)
 			go func() {
@@ -229,6 +254,9 @@ func (o OpenLoop) Run() *Result {
 				defer mu.Unlock()
 				if err != nil {
 					res.Errors++
+					if o.OnError != nil {
+						o.OnError(arrive, err)
+					}
 					return
 				}
 				res.Requests++

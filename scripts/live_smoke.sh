@@ -26,20 +26,25 @@ cleanup() {
 trap cleanup EXIT
 
 go build -o "$WORK/vdnode" ./cmd/vdnode
+go build -o "$WORK/promlint" ./cmd/promlint
 
 PEERS="ra=127.0.0.1:7001,rb=127.0.0.1:7002,rc=127.0.0.1:7003"
+# Every replica serves live introspection and self-grades a lenient SLO,
+# so the smoke can validate the /metrics exposition format and the /slo
+# evaluation on a real deployment, not just in unit tests.
+OBS_SLO="p99<250ms,avail>0.9:2s"
 
 "$WORK/vdnode" -role replica -name ra -bind 127.0.0.1:7001 -peers "$PEERS" \
-  >"$WORK/ra.log" 2>&1 &
+  -introspect 127.0.0.1:7021 -slo "$OBS_SLO" >"$WORK/ra.log" 2>&1 &
 RA=$!
 PIDS+=("$RA")
 sleep 1
 "$WORK/vdnode" -role replica -name rb -bind 127.0.0.1:7002 -seeds ra -peers "$PEERS" \
-  >"$WORK/rb.log" 2>&1 &
+  -introspect 127.0.0.1:7022 -slo "$OBS_SLO" >"$WORK/rb.log" 2>&1 &
 PIDS+=("$!")
 sleep 1
 "$WORK/vdnode" -role replica -name rc -bind 127.0.0.1:7003 -seeds ra -peers "$PEERS" \
-  >"$WORK/rc.log" 2>&1 &
+  -introspect 127.0.0.1:7023 -slo "$OBS_SLO" >"$WORK/rc.log" 2>&1 &
 PIDS+=("$!")
 sleep 1
 
@@ -76,6 +81,23 @@ if ! grep -q "done: $REQUESTS requests" "$WORK/client.log"; then
 fi
 echo "smoke: client completed all $REQUESTS requests across a primary crash"
 grep -h "failover complete" "$WORK"/r?.log || true
+
+# Exposition + SLO checks against a surviving replica: every /metrics
+# line must parse as well-formed Prometheus text (malformed families fail
+# the build), and /slo must serve an evaluated attainment.
+curl -sf http://127.0.0.1:7022/metrics >"$WORK/rb-metrics.txt" || {
+  echo "smoke: could not scrape rb's /metrics"; fail; }
+"$WORK/promlint" "$WORK/rb-metrics.txt" || {
+  echo "smoke: rb's /metrics exposition is malformed"; fail; }
+grep -q "versadep_replication_failovers" "$WORK/rb-metrics.txt" || {
+  echo "smoke: rb's /metrics is missing replication counters"; fail; }
+grep -q "versadep_process_goroutines" "$WORK/rb-metrics.txt" || {
+  echo "smoke: rb's /metrics is missing process self-gauges"; fail; }
+curl -sf http://127.0.0.1:7022/slo >"$WORK/rb-slo.json" || {
+  echo "smoke: could not fetch rb's /slo"; fail; }
+grep -q '"attainment"' "$WORK/rb-slo.json" || {
+  echo "smoke: rb's /slo has no attainment field"; fail; }
+echo "smoke: rb's /metrics exposition validates and /slo evaluates"
 
 # ---------------------------------------------------------------------------
 # Scenario 2: joiner crash mid-transfer, restart, resume to synced.
