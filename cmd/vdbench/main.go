@@ -26,7 +26,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run: all, fig3, fig4, fig6, fig7, table2, fig9, switchdelay, statetransfer, chaos, slo")
+		exp      = flag.String("exp", "all", "experiment to run: all, fig3, fig4, fig6, fig7, table2, fig9, switchdelay, statetransfer, chaos, slo, shardscale")
 		chaosN   = flag.Int("chaos-runs", 20, "seeded runs per chaos campaign (chaos experiment)")
 		requests = flag.Int("requests", 0, "requests per client cycle (default harness setting; paper uses 10000)")
 		seed     = flag.Uint64("seed", 0, "deterministic seed (default harness setting)")
@@ -171,6 +171,25 @@ func run(exp string, requests int, seed uint64, maxReplicas, maxClients, chaosRu
 		}
 		if !res.Passed {
 			return fmt.Errorf("clean surge violated the SLO (attainment %.4f)", res.Attainment)
+		}
+	}
+	// The shard-scale sweep drives a few hundred thousand virtual-time
+	// requests across 1/2/4 shards; it runs only when asked for, like the
+	// other heavyweight experiments.
+	if strings.EqualFold(exp, "shardscale") {
+		ran = true
+		res, err := experiment.RunShardScale(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiment.RenderShardScale(res))
+		if benchDir != "" {
+			if err := writeBenchJSON(benchDir, "BENCH_shard.json", res); err != nil {
+				return err
+			}
+		}
+		if !res.Passed {
+			return fmt.Errorf("4-shard speedup %.2f× below the 2.5× scale-out bar", res.Speedup4)
 		}
 	}
 	// The chaos campaign is real-time (fault schedules, detector timing)

@@ -31,13 +31,14 @@ import (
 	"syscall"
 	"time"
 
-	"versadep/internal/faults/chaos"
+	"versadep/internal/cliflag"
 	"versadep/internal/gcs"
 	"versadep/internal/introspect"
 	"versadep/internal/obsplane"
 	"versadep/internal/policy"
 	"versadep/internal/replication"
 	"versadep/internal/replicator"
+	"versadep/internal/shard"
 	"versadep/internal/transport"
 	"versadep/internal/transport/chaoswire"
 	"versadep/internal/transport/tcptransport"
@@ -65,6 +66,7 @@ type replicaOpts struct {
 	chaos         string
 	slo           string
 	scrapeEvery   time.Duration
+	shard         string
 }
 
 func main() {
@@ -94,13 +96,15 @@ func main() {
 		sloSpec  = flag.String("slo", "", "SLO spec to evaluate over this node's own metrics, e.g. \"p99<50ms,avail>0.999:30s\"; serves /slo and feeds the policy controller's burn-rate signals")
 		scrape   = flag.String("scrape", "", "aggregator role: comma-separated name=http://host:port introspection endpoints to scrape")
 		scrapeEv = flag.Duration("scrape-every", time.Second, "observability sampling/scrape period (replica self-grading and aggregator role)")
+		shardArg = flag.String("shard", "", "serve shard k of an N-shard deployment as \"k/N\" (replica role; stamps the group's frames with group id k and NAKs objects owned by other shards)")
+		shardMem = flag.String("shard-members", "", "sharded client: semicolon-separated shard groups \"0:ra,rb,rc;1:sa,sb,sc\"; each request routes to the shard owning its object (client role)")
 	)
 	flag.Parse()
 	pol := policyOpts{spec: *polSpec, cooldown: *cooldown, every: *adaptEv, spawnCmd: *spawnCmd}
 	rep := replicaOpts{stateBytes: *stateB, transferChunk: *xferChnk, transferWin: *xferWin,
 		dialAttempts: *dialAtt, dialBackoff: *dialBack, suspectAfter: *suspect,
 		detector: *detector, chaos: *chaosArg,
-		slo: *sloSpec, scrapeEvery: *scrapeEv}
+		slo: *sloSpec, scrapeEvery: *scrapeEv, shard: *shardArg}
 	if *role == "aggregator" {
 		if err := runAggregator(*bind, *scrape, *sloSpec, *scrapeEv); err != nil {
 			fmt.Fprintln(os.Stderr, "vdnode:", err)
@@ -108,7 +112,7 @@ func main() {
 		}
 		return
 	}
-	if err := run(*role, *name, *bind, *peersStr, *seedsStr, *members, *style, *requests, *traceDmp, *intro, pol, rep); err != nil {
+	if err := run(*role, *name, *bind, *peersStr, *seedsStr, *members, *shardMem, *style, *requests, *traceDmp, *intro, pol, rep); err != nil {
 		fmt.Fprintln(os.Stderr, "vdnode:", err)
 		os.Exit(1)
 	}
@@ -143,7 +147,7 @@ func splitList(s string) []string {
 	return out
 }
 
-func run(role, name, bind, peersStr, seedsStr, membersStr, styleName string, requests int, traceDump bool, intro string, pol policyOpts, rep replicaOpts) error {
+func run(role, name, bind, peersStr, seedsStr, membersStr, shardMembers, styleName string, requests int, traceDump bool, intro string, pol policyOpts, rep replicaOpts) error {
 	if name == "" || bind == "" {
 		return fmt.Errorf("-name and -bind are required")
 	}
@@ -173,7 +177,7 @@ func run(role, name, bind, peersStr, seedsStr, membersStr, styleName string, req
 	var wire transport.MultiEndpoint = ep
 	var cw *chaoswire.Endpoint
 	if rep.chaos != "" {
-		spec, seed, err := chaos.ParseSpec(rep.chaos)
+		spec, seed, err := cliflag.Chaos(rep.chaos)
 		if err != nil {
 			_ = ep.Close()
 			return err
@@ -187,7 +191,7 @@ func run(role, name, bind, peersStr, seedsStr, membersStr, styleName string, req
 	case "replica":
 		return runReplica(ep, wire, cw, splitList(seedsStr), styleName, traceDump, intro, pol, rep)
 	case "client":
-		return runClient(wire, cw, splitList(membersStr), requests, traceDump, intro)
+		return runClient(wire, cw, splitList(membersStr), shardMembers, requests, traceDump, intro)
 	default:
 		_ = ep.Close()
 		return fmt.Errorf("unknown role %q", role)
@@ -260,7 +264,7 @@ func startController(node *replicator.ReplicaNode, ep *tcptransport.Endpoint, po
 	if pol.spec == "" {
 		return nil, func() {}, nil
 	}
-	policies, err := policy.ParseSpec(pol.spec)
+	policies, err := cliflag.Policies(pol.spec)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -318,20 +322,23 @@ func runReplica(ep *tcptransport.Endpoint, wire transport.MultiEndpoint, cw *cha
 	// identical; group timing must be looser than simulation defaults to
 	// tolerate real-network scheduling.
 	app := workload.NewBenchApp(rep.stateBytes, 0, 64)
-	var gcsCfg *gcs.Config
-	if rep.suspectAfter > 0 || rep.detector != "" {
-		g := gcs.DefaultConfig()
-		if rep.suspectAfter > 0 {
-			g.SuspectAfter = rep.suspectAfter
+	gcsCfg, err := cliflag.Detector(rep.detector, rep.suspectAfter)
+	if err != nil {
+		return err
+	}
+	// A sharded replica stamps its group's frames with the shard ID so
+	// several groups can multiplex one transport; shard 0 keeps group id 0,
+	// which encodes identically to the unsharded wire format.
+	shardID, shardN, sharded, err := cliflag.Shard(rep.shard)
+	if err != nil {
+		return err
+	}
+	if sharded && shardID > 0 {
+		if gcsCfg == nil {
+			g := gcs.DefaultConfig()
+			gcsCfg = &g
 		}
-		if rep.detector != "" {
-			phi, err := gcs.ParseDetector(rep.detector)
-			if err != nil {
-				return err
-			}
-			g.PhiThreshold = phi
-		}
-		gcsCfg = &g
+		gcsCfg.GroupID = uint32(shardID)
 	}
 	node := replicator.StartReplica(wire, replicator.ReplicaConfig{
 		Seeds: seeds,
@@ -374,6 +381,24 @@ func runReplica(ep *tcptransport.Endpoint, wire transport.MultiEndpoint, cw *cha
 		},
 	})
 	node.Register("Bench", app)
+	if sharded {
+		// The ring needs only the shard IDs (placement is a pure function
+		// of IDs and vnodes), so every replica and every router derives the
+		// same ownership from just "k/N" — no membership exchange needed.
+		groups := make([]shard.Group, shardN)
+		for i := range groups {
+			groups[i] = shard.Group{ID: i}
+		}
+		guard := shard.NewGuard(shardID, shard.NewMap(shard.DefaultVnodes, groups...))
+		node.RegisterDefault(app)
+		node.SetRouteCheck(func(object string) error {
+			if object == "Bench" {
+				return nil // the unsharded demo object bypasses placement
+			}
+			return guard.Check(object)
+		})
+		fmt.Printf("[%s] serving shard %d of %d\n", ep.Addr(), shardID, shardN)
+	}
 
 	// Self-grading observability plane: an in-process aggregator samples
 	// this node's own recorder on a ticker, and an SLO engine grades the
@@ -384,14 +409,10 @@ func runReplica(ep *tcptransport.Endpoint, wire transport.MultiEndpoint, cw *cha
 	stopPlane := func() {}
 	var introOpts []introspect.Option
 	if rep.slo != "" {
-		spec, err := obsplane.ParseSLO(rep.slo)
+		spec, width, err := cliflag.SLO(rep.slo)
 		if err != nil {
 			node.Leave()
 			return err
-		}
-		width := spec.Window.Nanoseconds() / 5
-		if width < 1 {
-			width = 1
 		}
 		agg := obsplane.NewAggregator(width, 512)
 		agg.Attach(ep.Addr(), node.TraceSnapshot)
@@ -416,6 +437,14 @@ func runReplica(ep *tcptransport.Endpoint, wire transport.MultiEndpoint, cw *cha
 	}
 	introOpts = append(introOpts, introspect.WithGauges(detectorGauges(node)),
 		introspect.WithGauges(wireGauges(ep, cw)))
+	if sharded {
+		// A constant info gauge labels every scrape of this node with its
+		// shard, so the aggregator's merged exposition separates the groups.
+		info := fmt.Sprintf("versadep_shard_info{shard=\"%d\"}", shardID)
+		introOpts = append(introOpts, introspect.WithGauges(func() map[string]float64 {
+			return map[string]float64{info: 1}
+		}))
+	}
 	closeIntro, err := serveIntrospect(intro, node.TraceSnapshot, introOpts...)
 	if err != nil {
 		node.Leave()
@@ -460,18 +489,40 @@ func runReplica(ep *tcptransport.Endpoint, wire transport.MultiEndpoint, cw *cha
 	}
 }
 
-func runClient(wire transport.MultiEndpoint, cw *chaoswire.Endpoint, members []string, requests int, traceDump bool, intro string) error {
-	if len(members) == 0 {
-		_ = wire.Close()
-		return fmt.Errorf("-members is required for the client role")
-	}
+func runClient(wire transport.MultiEndpoint, cw *chaoswire.Endpoint, members []string, shardMembers string, requests int, traceDump bool, intro string) error {
 	_ = cw // chaos counters are scraped from replicas; the client just perturbs
-	client := replicator.StartClient(wire, replicator.ClientConfig{
-		Members: members,
-		Model:   vtime.DefaultCostModel(),
-		Timeout: 2 * time.Second,
-		Retries: 10,
-	})
+	var client *replicator.ClientNode
+	sharded := shardMembers != ""
+	if sharded {
+		// The sharded client spans every group: one endpoint, one ORB, a
+		// router underneath mapping each object to its shard's group. The
+		// deployment is fixed from the flag, so the map never changes and
+		// Fetch just returns the same epoch-1 layout.
+		groups, err := cliflag.ShardMembers(shardMembers)
+		if err != nil {
+			_ = wire.Close()
+			return err
+		}
+		m := shard.NewMap(shard.DefaultVnodes, groups...)
+		client = replicator.StartShardedClient(wire, replicator.ShardedClientConfig{
+			Fetch:   func() *shard.Map { return m },
+			Model:   vtime.DefaultCostModel(),
+			Timeout: 2 * time.Second,
+			Retries: 10,
+		})
+		fmt.Printf("sharded client over %d shards\n", len(groups))
+	} else {
+		if len(members) == 0 {
+			_ = wire.Close()
+			return fmt.Errorf("-members or -shard-members is required for the client role")
+		}
+		client = replicator.StartClient(wire, replicator.ClientConfig{
+			Members: members,
+			Model:   vtime.DefaultCostModel(),
+			Timeout: 2 * time.Second,
+			Retries: 10,
+		})
+	}
 	defer client.Stop()
 	closeIntro, err := serveIntrospect(intro, client.TraceSnapshot)
 	if err != nil {
@@ -483,7 +534,14 @@ func runClient(wire transport.MultiEndpoint, cw *chaoswire.Endpoint, members []s
 	var last int64
 	for i := 1; i <= requests; i++ {
 		t0 := time.Now()
-		out, err := client.Invoke("Bench", "work", []interface{}{[]byte("x")}, 0)
+		object := "Bench"
+		if sharded {
+			// Spread the keyspace so the ring routes requests to every
+			// shard; sharded replicas serve any object via their default
+			// servant, gated by the placement guard.
+			object = fmt.Sprintf("bench-%03d", i%64)
+		}
+		out, err := client.Invoke(object, "work", []interface{}{[]byte("x")}, 0)
 		if err != nil {
 			return fmt.Errorf("request %d: %w", i, err)
 		}
@@ -518,23 +576,28 @@ func runAggregator(bind, scrape, sloSpec string, every time.Duration) error {
 		return fmt.Errorf("-scrape is required for the aggregator role (name=http://host:port,...)")
 	}
 	var spec obsplane.Spec
+	width := int64(time.Second)
 	if sloSpec != "" {
 		var err error
-		if spec, err = obsplane.ParseSLO(sloSpec); err != nil {
+		if spec, width, err = cliflag.SLO(sloSpec); err != nil {
 			return err
 		}
 	}
-	width := int64(time.Second)
-	if spec.Window > 0 {
-		if width = spec.Window.Nanoseconds() / 5; width < 1 {
-			width = 1
-		}
-	}
 	agg := obsplane.NewAggregator(width, 512)
+	// Targets may carry a shard annotation ("name@shard=url"), labeling the
+	// merged exposition per shard in a sharded deployment.
+	shardOf := make(map[string]string)
 	for _, pair := range strings.Split(scrape, ",") {
 		name, url, ok := strings.Cut(strings.TrimSpace(pair), "=")
 		if !ok {
-			return fmt.Errorf("bad scrape target %q (want name=http://host:port)", pair)
+			return fmt.Errorf("bad scrape target %q (want name[@shard]=http://host:port)", pair)
+		}
+		if base, shard, ok := strings.Cut(name, "@"); ok {
+			if shard == "" {
+				return fmt.Errorf("bad scrape target %q (empty shard annotation)", pair)
+			}
+			name = base
+			shardOf[name] = shard
 		}
 		agg.AddTarget(name, url)
 	}
@@ -544,6 +607,26 @@ func runAggregator(bind, scrape, sloSpec string, every time.Duration) error {
 	opts := []introspect.Option{
 		introspect.WithJSON("/timelines", func() any { return agg.Timelines() }),
 		introspect.WithJSON("/aggregator", func() any { return agg.Status() }),
+	}
+	if len(shardOf) > 0 {
+		// One up-gauge per annotated target: the merged exposition then
+		// separates the shards by label, and a shard whose scrapes fail
+		// shows up as versadep_shard_up 0 rather than silently vanishing.
+		opts = append(opts, introspect.WithGauges(func() map[string]float64 {
+			g := make(map[string]float64, len(shardOf))
+			for _, t := range agg.Status().Targets {
+				shard, ok := shardOf[t.Name]
+				if !ok {
+					continue
+				}
+				up := 0.0
+				if t.LastError == "" && t.LastScrapeUnixNanos > 0 {
+					up = 1
+				}
+				g[fmt.Sprintf("versadep_shard_up{shard=%q,node=%q}", shard, t.Name)] = up
+			}
+			return g
+		}))
 	}
 	if sloSpec != "" {
 		eng := obsplane.NewEngine(agg.Store(), spec)

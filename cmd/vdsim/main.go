@@ -21,8 +21,8 @@ import (
 	"sync"
 	"time"
 
+	"versadep/internal/cliflag"
 	"versadep/internal/experiment"
-	"versadep/internal/gcs"
 	"versadep/internal/introspect"
 	"versadep/internal/monitor"
 	"versadep/internal/obsplane"
@@ -60,6 +60,7 @@ func main() {
 		sloSpec   = flag.String("slo", "", "grade the run against an SLO spec, e.g. \"p99<10ms,avail>0.999:25ms\" (windows are virtual time)")
 		timelines = flag.Int("timelines", 0, "print the first N stitched cross-node request timelines")
 		reservoir = flag.Int("reservoir", 0, "latency reservoir capacity: raw samples kept for exact percentiles before uniform subsampling kicks in (0 = default 2048; larger = exacter tails on long runs, more memory)")
+		shards    = flag.Int("shards", 1, "shard the object space over N independent replica groups (active replication, -replicas each) and drive an open-loop sharded client across them; >1 switches to sharded mode and ignores the mid-run event flags")
 	)
 	flag.Parse()
 	cfg := runConfig{
@@ -72,6 +73,7 @@ func main() {
 		stateBytes: *stateB, transferChunk: *xferChunk, transferRetry: *xferRetry,
 		detector: *detector, chaos: *chaosArg, chaosFor: *chaosFor,
 		introspect: *intro, slo: *sloSpec, timelines: *timelines, reservoir: *reservoir,
+		shards: *shards,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "vdsim:", err)
@@ -101,6 +103,7 @@ type runConfig struct {
 	slo               string
 	timelines         int
 	reservoir         int
+	shards            int
 }
 
 func run(cfg runConfig) error {
@@ -128,15 +131,15 @@ func run(cfg runConfig) error {
 	o.TransferChunkBytes = cfg.transferChunk
 	o.TransferRetryEvery = cfg.transferRetry
 	if cfg.detector != "" {
-		phi, err := gcs.ParseDetector(cfg.detector)
+		phi, err := cliflag.DetectorPhi(cfg.detector)
 		if err != nil {
 			return err
 		}
-		if phi > 0 {
-			o.PhiThreshold = phi
-		} else {
-			o.PhiThreshold = -1
-		}
+		o.PhiThreshold = phi
+	}
+
+	if cfg.shards > 1 {
+		return runSharded(cfg, o)
 	}
 
 	var mu sync.Mutex
@@ -179,12 +182,9 @@ func run(cfg runConfig) error {
 	var sloStore *obsplane.Store
 	var sloSpec obsplane.Spec
 	if cfg.slo != "" {
-		if sloSpec, err = obsplane.ParseSLO(cfg.slo); err != nil {
+		var width int64
+		if sloSpec, width, err = cliflag.SLO(cfg.slo); err != nil {
 			return err
-		}
-		width := sloSpec.Window.Nanoseconds() / 5
-		if width < 1 {
-			width = 1
 		}
 		sloStore = obsplane.NewStore(width, 512)
 		sloEng = obsplane.NewEngine(sloStore, sloSpec)
@@ -206,7 +206,7 @@ func run(cfg runConfig) error {
 
 	var ctrl *policy.Controller
 	if cfg.adapt != "" {
-		policies, err := policy.ParseSpec(cfg.adapt)
+		policies, err := cliflag.Policies(cfg.adapt)
 		if err != nil {
 			return err
 		}
@@ -311,6 +311,30 @@ func run(cfg runConfig) error {
 	defer mu.Unlock()
 	if len(notices) > 0 {
 		printNotices(notices)
+	}
+	return nil
+}
+
+// runSharded drives the sharded-deployment scenario: N independent
+// active-replicated groups behind a consistent-hash routing tier, one
+// open-loop client spraying the object keyspace across them. It prints
+// the aggregate throughput and the per-shard load/latency split — the
+// scale-out counterpart of the single-group closed-loop run.
+func runSharded(cfg runConfig, o experiment.Options) error {
+	fmt.Printf("scenario: %d shards × %d replicas (active), %d requests open-loop\n",
+		cfg.shards, cfg.replicas, o.Requests)
+	p, err := experiment.RunShardPoint(o, cfg.shards, cfg.replicas)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nresults over %d requests (%d errors):\n", p.Requests, p.Errors)
+	fmt.Printf("  aggregate throughput %.1f req/s (virtual)\n", p.ThroughputRPS)
+	for _, s := range p.PerShard {
+		fmt.Printf("  shard %d: %5d requests  mean %9.1fµs  p99 %9.1fµs\n",
+			s.Shard, s.Requests, s.MeanMicros, s.P99Micros)
+	}
+	if p.Errors > 0 {
+		return fmt.Errorf("%d requests failed", p.Errors)
 	}
 	return nil
 }

@@ -62,6 +62,9 @@ type ClientConfig struct {
 	// "" are not spanned. Injected by the composing layer so gcs stays
 	// ignorant of upper-layer encodings.
 	SpanKey func(payload []byte) string
+	// GroupID selects which group (shard) this client talks to when
+	// several share a transport; see Config.GroupID.
+	GroupID uint32
 }
 
 // DefaultClientConfig returns client timing aligned with DefaultConfig.
@@ -165,7 +168,7 @@ func (c *GroupClient) Submit(payload []byte, sentAt vtime.Time, led vtime.Ledger
 		c.pending[f.OSeq] = f
 		c.pendOrder = append(c.pendOrder, f.OSeq)
 		if len(c.members) > 0 {
-			_ = c.send.Send(c.members[0], encodeFrame(f), vt)
+			_ = c.send.Send(c.members[0], c.enc(f), vt)
 		}
 	})
 }
@@ -211,10 +214,19 @@ func (c *GroupClient) drainInbox() {
 	}
 }
 
+// enc stamps the client's group id on f and encodes it (see Member.enc).
+func (c *GroupClient) enc(f *frame) []byte {
+	f.Group = c.cfg.GroupID
+	return encodeFrame(f)
+}
+
 func (c *GroupClient) handleMessage(msg transport.Message) {
 	f, err := decodeFrame(msg.Payload)
 	if err != nil {
 		return
+	}
+	if f.Group != c.cfg.GroupID {
+		return // another shard's traffic on the shared transport
 	}
 	switch f.Kind {
 	case kDirect:
@@ -230,7 +242,7 @@ func (c *GroupClient) handleMessage(msg transport.Message) {
 
 func (c *GroupClient) handleDirect(msg transport.Message, f *frame) {
 	ack := &frame{Kind: kDirectAck, Origin: c.Addr(), OSeq: f.OSeq}
-	_ = c.send.SendControl(f.Origin, encodeFrame(ack), 0)
+	_ = c.send.SendControl(f.Origin, c.enc(ack), 0)
 	if c.directDup(f.Origin, f.OSeq) {
 		return
 	}
@@ -303,7 +315,7 @@ func (c *GroupClient) tick() {
 			continue
 		}
 		target := c.members[c.rotate%len(c.members)]
-		_ = c.send.SendControl(target, encodeFrame(f), f.SentVT)
+		_ = c.send.SendControl(target, c.enc(f), f.SentVT)
 	}
 	c.rotate++
 	if len(c.pendOrder) > len(c.pending)*2 {

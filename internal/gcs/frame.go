@@ -82,6 +82,14 @@ type frame struct {
 	// Left annotates a kView frame with the old-view members that
 	// departed gracefully (announced leaves), as opposed to crashing.
 	Left []string
+	// Group multiplexes independent replica groups (shards) over shared
+	// transports: members stamp their shard's group id on every frame and
+	// drop inbound frames from other groups. Zero is the unsharded (and
+	// shard-0) group, and a zero Group is not encoded at all — the frame
+	// then ends after Left exactly as it did before sharding existed, so
+	// a 1-shard cluster's wire bytes stay byte-identical (regression-
+	// tested in frame_compat_test.go).
+	Group uint32
 }
 
 // encodeFrame serializes f with the codec package.
@@ -112,6 +120,11 @@ func encodeFrame(f *frame) []byte {
 	e.PutUint32(uint32(len(f.Left)))
 	for _, m := range f.Left {
 		e.PutString(m)
+	}
+	// Trailing optional field (the PR-4 resume-fields trick): emitted
+	// only when non-zero so group-0 frames keep their legacy layout.
+	if f.Group != 0 {
+		e.PutUint32(f.Group)
 	}
 	return e.Bytes()
 }
@@ -211,6 +224,13 @@ func decodeFrame(b []byte) (*frame, error) {
 			return nil, err
 		}
 		f.Left = append(f.Left, m)
+	}
+	if d.Remaining() > 0 {
+		g, err := d.Uint32()
+		if err != nil {
+			return nil, err
+		}
+		f.Group = g
 	}
 	return &f, nil
 }

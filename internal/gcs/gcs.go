@@ -223,6 +223,12 @@ type Config struct {
 	Model vtime.CostModel
 	// Seed seeds the member's deterministic jitter source.
 	Seed uint64
+	// GroupID multiplexes independent groups (shards) over shared
+	// transports: the member stamps it on every outbound frame and drops
+	// inbound frames stamped with a different group. Zero — the default
+	// and the unsharded case — is never encoded, keeping single-group
+	// wire bytes identical to the pre-sharding protocol.
+	GroupID uint32
 	// Trace, when non-nil, receives the member's protocol counters and
 	// events (view changes, heartbeat misses, retransmit-queue depth,
 	// NACKs). A nil recorder costs nothing on the hot paths.

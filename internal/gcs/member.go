@@ -41,6 +41,7 @@ type Member struct {
 	cPhiMax     *trace.Counter // high-water accrued suspicion, in milliphi
 	cMinority   *trace.Counter // proposals withheld for lack of a primary partition
 	cGapSkips   *trace.Counter // abandoned client OSeq gaps skipped by the sequencer
+	cGroupDrops *trace.Counter // inbound frames dropped for a foreign group id
 	spans       *span.Recorder
 
 	// out delivers events to the application through an elastic queue so
@@ -216,6 +217,7 @@ func Open(conn, xconn transport.Conn, cfg Config) *Member {
 	m.cPhiMax = cfg.Trace.Counter(trace.SubGCS, "phi_max_millis")
 	m.cMinority = cfg.Trace.Counter(trace.SubGCS, "minority_stalls")
 	m.cGapSkips = cfg.Trace.Counter(trace.SubGCS, "data_gap_skips")
+	m.cGroupDrops = cfg.Trace.Counter(trace.SubGCS, "group_mismatch_drops")
 	m.spans = cfg.Trace.Spans()
 	if len(cfg.Seeds) == 0 {
 		m.installBootstrapView()
@@ -414,6 +416,14 @@ func (m *Member) pumpOut() {
 
 // ---- sending helpers ----
 
+// enc stamps the member's group id on f and encodes it. Every wire send
+// goes through here (loopback deliveries skip encoding entirely, and the
+// group check only runs at decode time, so they need no stamp).
+func (m *Member) enc(f *frame) []byte {
+	f.Group = m.cfg.GroupID
+	return encodeFrame(f)
+}
+
 func (m *Member) sendControl(to string, f *frame) {
 	if to == "" || to == m.Addr() {
 		if to == m.Addr() {
@@ -421,7 +431,7 @@ func (m *Member) sendControl(to string, f *frame) {
 		}
 		return
 	}
-	_ = m.conn.SendControl(to, encodeFrame(f), f.SentVT)
+	_ = m.conn.SendControl(to, m.enc(f), f.SentVT)
 }
 
 func (m *Member) sendData(to string, f *frame) {
@@ -429,7 +439,7 @@ func (m *Member) sendData(to string, f *frame) {
 		m.handleFrame(transport.Message{From: to, To: to, SentAt: f.SentVT, ArriveAt: f.SentVT}, f)
 		return
 	}
-	_ = m.conn.Send(to, encodeFrame(f), f.SentVT)
+	_ = m.conn.Send(to, m.enc(f), f.SentVT)
 }
 
 // castData multicasts a data frame to all view members (including self via
@@ -454,7 +464,7 @@ func (m *Member) castDataOthers(f *frame) bool {
 		others = append(others, mm)
 	}
 	if len(others) > 0 {
-		_ = m.conn.SendMulticast(others, encodeFrame(f), f.SentVT)
+		_ = m.conn.SendMulticast(others, m.enc(f), f.SentVT)
 	}
 	return self
 }
@@ -462,10 +472,10 @@ func (m *Member) castDataOthers(f *frame) bool {
 // sendExternal routes a frame to an external (non-member) address.
 func (m *Member) sendExternal(to string, f *frame, control bool) {
 	if control {
-		_ = m.xconn.SendControl(to, encodeFrame(f), f.SentVT)
+		_ = m.xconn.SendControl(to, m.enc(f), f.SentVT)
 		return
 	}
-	_ = m.xconn.Send(to, encodeFrame(f), f.SentVT)
+	_ = m.xconn.Send(to, m.enc(f), f.SentVT)
 }
 
 func (m *Member) isExternal(addr string) bool {

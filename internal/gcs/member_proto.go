@@ -174,6 +174,12 @@ func (m *Member) handleMessage(msg transport.Message) {
 	if err != nil {
 		return // corrupt frame: drop, retransmission recovers
 	}
+	if f.Group != m.cfg.GroupID {
+		// Another shard's group sharing the transport: not ours. Only the
+		// wire path is checked — loopback frames never carry a stamp.
+		m.cGroupDrops.Inc()
+		return
+	}
 	m.handleFrame(msg, f)
 }
 

@@ -21,9 +21,20 @@ import (
 type Adapter struct {
 	model vtime.CostModel
 
-	mu       sync.Mutex
-	servants map[string]Servant
-	spans    *span.Recorder
+	mu         sync.Mutex
+	servants   map[string]Servant
+	fallback   Servant
+	routeCheck func(object string) error
+	spans      *span.Recorder
+}
+
+// ObjectServant is optionally implemented by servants that serve many
+// object references from one implementation (a keyed store behind a
+// default servant, in CORBA terms). When the fallback servant implements
+// it, the adapter passes the object reference through so the servant can
+// key its state on it.
+type ObjectServant interface {
+	InvokeObject(object, op string, args []codec.Value) ([]codec.Value, error)
 }
 
 // SetSpans attaches a causal span recorder: every handled request then
@@ -49,6 +60,26 @@ func (a *Adapter) Register(object string, s Servant) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	a.servants[object] = s
+}
+
+// RegisterDefault installs a fallback servant that receives every request
+// whose object has no explicit binding — the POA default-servant pattern,
+// which is how a sharded store serves an open-ended object space without
+// registering each reference.
+func (a *Adapter) RegisterDefault(s Servant) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.fallback = s
+}
+
+// SetRouteCheck installs a pre-dispatch check invoked with each request's
+// object reference; a non-nil error becomes a StatusException reply
+// without touching any servant. The shard guard hooks in here to NAK
+// requests routed under a stale shard map.
+func (a *Adapter) SetRouteCheck(fn func(object string) error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.routeCheck = fn
 }
 
 // Unregister removes an object binding.
@@ -121,9 +152,24 @@ func (a *Adapter) HandleRequest(cpu *vtime.Server, reqBytes []byte, arriveVT vti
 func (a *Adapter) execute(req *Request) (*Reply, vtime.Duration) {
 	a.mu.Lock()
 	s := a.servants[req.Object]
+	fallback := a.fallback
+	check := a.routeCheck
 	a.mu.Unlock()
 
 	reply := &Reply{ClientID: req.ClientID, ReqID: req.ReqID}
+	if check != nil {
+		if err := check(req.Object); err != nil {
+			// A misrouted request must not reach any servant: the check
+			// replaces dispatch entirely, and the cheap rejection charges
+			// no application cost (only the ORB crossings around it).
+			reply.Status = StatusException
+			reply.ErrMsg = err.Error()
+			return reply, 0
+		}
+	}
+	if s == nil {
+		s = fallback
+	}
 	if s == nil {
 		reply.Status = StatusException
 		reply.ErrMsg = fmt.Sprintf("no such servant %q", req.Object)
@@ -133,7 +179,13 @@ func (a *Adapter) execute(req *Request) (*Reply, vtime.Duration) {
 	if c, ok := s.(ExecCoster); ok {
 		cost = c.ExecCost(req.Operation, req.Args)
 	}
-	results, err := s.Invoke(req.Operation, req.Args)
+	var results []codec.Value
+	var err error
+	if os, ok := s.(ObjectServant); ok {
+		results, err = os.InvokeObject(req.Object, req.Operation, req.Args)
+	} else {
+		results, err = s.Invoke(req.Operation, req.Args)
+	}
 	if err != nil {
 		reply.Status = StatusException
 		reply.ErrMsg = err.Error()

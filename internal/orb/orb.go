@@ -230,6 +230,24 @@ func PeekRequestID(b []byte) (string, uint64, error) {
 	return cid, rid, nil
 }
 
+// PeekRequestObject extracts the target object reference from encoded
+// request bytes without a full decode. The shard router uses it to place
+// each request on the consistent-hash ring before paying the unmarshal
+// cost.
+func PeekRequestObject(b []byte) (string, error) {
+	d := codec.NewDecoder(b)
+	if err := checkHeader(d, MsgRequest); err != nil {
+		return "", err
+	}
+	if _, err := d.String(); err != nil { // ClientID
+		return "", err
+	}
+	if _, err := d.Uint64(); err != nil { // ReqID
+		return "", err
+	}
+	return d.String()
+}
+
 // PeekReplyID extracts the (ClientID, ReqID) pair from encoded reply bytes
 // without a full decode. The interceptor uses it to filter duplicate
 // replies from active replicas.
@@ -247,6 +265,30 @@ func PeekReplyID(b []byte) (string, uint64, error) {
 		return "", 0, err
 	}
 	return cid, rid, nil
+}
+
+// PeekReplyError extracts identity, status and exception text from
+// encoded reply bytes without decoding the results. The shard router uses
+// it to recognize stale-epoch NAKs in the reply stream while leaving
+// ordinary replies untouched.
+func PeekReplyError(b []byte) (cid string, rid uint64, status Status, errMsg string, err error) {
+	d := codec.NewDecoder(b)
+	if err = checkHeader(d, MsgReply); err != nil {
+		return
+	}
+	if cid, err = d.String(); err != nil {
+		return
+	}
+	if rid, err = d.Uint64(); err != nil {
+		return
+	}
+	var st uint8
+	if st, err = d.Uint8(); err != nil {
+		return
+	}
+	status = Status(st)
+	errMsg, err = d.String()
+	return
 }
 
 func checkHeader(d *codec.Decoder, want MsgType) error {

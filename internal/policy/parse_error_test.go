@@ -1,0 +1,46 @@
+package policy_test
+
+import (
+	"strings"
+	"testing"
+
+	"versadep/internal/policy"
+)
+
+// ParseSpec error paths, table-driven: each malformed entry must be
+// rejected with a message that names the offending fragment, because the
+// CLI prints these errors verbatim to the operator.
+func TestParseSpecErrorPaths(t *testing.T) {
+	cases := []struct {
+		name    string
+		spec    string
+		wantSub string
+	}{
+		{"empty", "", "empty spec"},
+		{"only separators", " , ,", "empty spec"},
+		{"unknown policy", "turbo=1", "unknown policy"},
+		{"missing equals", "rate", "bad spec entry"},
+		{"rate missing low", "rate=500", "rate wants"},
+		{"rate bad number", "rate=fast:slow", "bad number"},
+		{"avail bad number", "avail=x", "bad number"},
+		{"avail zero max replicas", "avail=0.99:0", "bad max replicas"},
+		{"bwcap empty budget", "bwcap=", "bad number"},
+		{"bwcap zero min replicas", "bwcap=3:0", "bad min replicas"},
+		{"linkretry too many args", "linkretry=0.9:2:3:4", "linkretry wants"},
+		{"linkretry bad attempts", "linkretry=0.9:zero", "bad faulty attempts"},
+		{"burn bad calm", "burn=2:calm", "bad number"},
+		{"burn zero max replicas", "burn=2:0.5:0", "bad max replicas"},
+		{"valid then invalid", "avail=0.99,rate=1:x", "bad number"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := policy.ParseSpec(c.spec)
+			if err == nil {
+				t.Fatalf("ParseSpec(%q) accepted a malformed spec", c.spec)
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Fatalf("ParseSpec(%q) error %q does not mention %q", c.spec, err, c.wantSub)
+			}
+		})
+	}
+}

@@ -264,6 +264,17 @@ type Engine struct {
 
 	replyCache map[string]map[uint64][]byte
 	highExec   map[string]uint64
+	// Exact duplicate detection. A client's request ids do NOT arrive in
+	// order: concurrent invocations race between id assignment and send,
+	// and in sharded deployments a router re-routes NAKed requests long
+	// after higher ids executed. A plain "rid <= high" floor misfiles such
+	// late-but-new requests as duplicates and black-holes them (no
+	// execution, no cached reply to resend, and every retry hits the same
+	// floor). So: rids at or below execFloor are assumed executed (history
+	// predating what this replica knows exactly — checkpoint installs set
+	// it), and above the floor execSeen records exactly which rids ran.
+	execFloor map[string]uint64
+	execSeen  map[string]map[uint64]bool
 
 	// retiring marks members whose graceful retirement was delivered on
 	// the agreed stream but whose departure view has not installed yet;
@@ -339,6 +350,8 @@ func NewEngine(member *gcs.Member, adapter *orb.Adapter, cfg Config) *Engine {
 		synced:      true, // bootstrap members are synced; joiners reset below
 		replyCache:  make(map[string]map[uint64][]byte),
 		highExec:    make(map[string]uint64),
+		execFloor:   make(map[string]uint64),
+		execSeen:    make(map[string]map[uint64]bool),
 		retiring:    make(map[string]bool),
 		sysState:    make(map[string]map[string]float64),
 		pendMarkers: make(map[ckptKey]*pendingMarker),
@@ -933,7 +946,7 @@ func (e *Engine) replayLog(vt vtime.Time) vtime.Time {
 		if err != nil {
 			continue
 		}
-		if rid <= e.highExec[cid] {
+		if e.executed(cid, rid) {
 			if cached, ok := e.replyCache[cid][rid]; ok {
 				// Component-less and noted "failover": the cross-node
 				// stitcher uses the note to mark the request's timeline as
@@ -970,7 +983,7 @@ func (e *Engine) handleRequest(ev gcs.Event, msg *Msg) {
 	// During a passive→active switch window the old roles persist until
 	// the closing checkpoint (the primary keeps serving; backups keep
 	// logging).
-	if rid <= e.highExec[cid] {
+	if e.executed(cid, rid) {
 		// Duplicate (client retry): the replying executor resends the
 		// cached reply.
 		if executor && e.repliesToClients() {
@@ -1057,6 +1070,47 @@ func (e *Engine) execute(viop []byte, cid string, rid uint64, vt vtime.Time, led
 	return e.executeWithLedger(viop, cid, rid, vt, led)
 }
 
+// dedupWindow bounds the exact executed-rid set kept per client: rids more
+// than this far below the client's high-water mark collapse into the
+// assumed-executed floor. Far larger than any live retry horizon (the ORB
+// gives up after its retry budget), so the collapse never misfiles a
+// request that is still being retried.
+const dedupWindow = 4096
+
+// executed reports whether this replica has (or must assume it has) run
+// the given request.
+func (e *Engine) executed(cid string, rid uint64) bool {
+	if rid <= e.execFloor[cid] {
+		return true
+	}
+	return e.execSeen[cid][rid]
+}
+
+// markExecuted records rid in the exact dedup set, collapsing entries that
+// age out of the window into the floor.
+func (e *Engine) markExecuted(cid string, rid uint64) {
+	seen := e.execSeen[cid]
+	if seen == nil {
+		seen = make(map[uint64]bool)
+		e.execSeen[cid] = seen
+	}
+	seen[rid] = true
+	if rid > e.highExec[cid] {
+		e.highExec[cid] = rid
+	}
+	if len(seen) > dedupWindow {
+		floor := e.highExec[cid] - dedupWindow
+		if floor > e.execFloor[cid] {
+			e.execFloor[cid] = floor
+			for r := range seen {
+				if r <= floor {
+					delete(seen, r)
+				}
+			}
+		}
+	}
+}
+
 func (e *Engine) cacheReply(cid string, rid uint64, reply []byte) {
 	cache := e.replyCache[cid]
 	if cache == nil {
@@ -1064,9 +1118,7 @@ func (e *Engine) cacheReply(cid string, rid uint64, reply []byte) {
 		e.replyCache[cid] = cache
 	}
 	cache[rid] = reply
-	if rid > e.highExec[cid] {
-		e.highExec[cid] = rid
-	}
+	e.markExecuted(cid, rid)
 	for old := range cache {
 		if old+uint64(e.cfg.CacheDepth) <= rid {
 			delete(cache, old)
@@ -1260,10 +1312,18 @@ func (e *Engine) trimLog(coveredSeq uint64) {
 func (e *Engine) setCache(entries []CacheEntry) {
 	e.replyCache = make(map[string]map[uint64][]byte, len(entries))
 	e.highExec = make(map[string]uint64, len(entries))
+	// The checkpoint summarizes execution history as one high-water mark
+	// per client, so exact knowledge resets: everything at or below the
+	// mark is assumed executed, and the exact set restarts above it.
+	e.execFloor = make(map[string]uint64, len(entries))
+	e.execSeen = make(map[string]map[uint64]bool, len(entries))
 	for _, c := range entries {
 		e.replyCache[c.Client] = map[uint64][]byte{c.ReqID: c.Reply}
 		if c.ReqID > e.highExec[c.Client] {
 			e.highExec[c.Client] = c.ReqID
+		}
+		if c.ReqID > e.execFloor[c.Client] {
+			e.execFloor[c.Client] = c.ReqID
 		}
 	}
 }

@@ -1,0 +1,44 @@
+package replication
+
+import "testing"
+
+// ParseStyle error paths, table-driven: every rejected spelling must fail
+// loudly rather than default to a style. The CLI surfaces these verbatim,
+// so a silent fallback would mask operator typos.
+func TestParseStyleErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"unknown token", "chrome"},
+		{"wrong case", "Active"},
+		{"space separator", "warm passive"},
+		{"trailing junk", "active,"},
+		{"numeric", "3"},
+		{"partial match", "warm"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if s, err := ParseStyle(c.in); err == nil {
+				t.Fatalf("ParseStyle(%q) = %v, want error", c.in, s)
+			}
+		})
+	}
+}
+
+// The accepted spellings, pinned: renaming a style string breaks every
+// deployment script, so additions are fine but changes are not.
+func TestParseStyleAccepted(t *testing.T) {
+	cases := map[string]Style{
+		"active": Active, "A": Active,
+		"warm-passive": WarmPassive, "P": WarmPassive, "passive": WarmPassive,
+		"cold-passive": ColdPassive,
+		"semi-active":  SemiActive, "SA": SemiActive,
+	}
+	for in, want := range cases {
+		if got, err := ParseStyle(in); err != nil || got != want {
+			t.Fatalf("ParseStyle(%q) = %v, %v, want %v", in, got, err, want)
+		}
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"versadep/internal/orb"
 	"versadep/internal/policy"
 	"versadep/internal/replication"
+	"versadep/internal/shard"
 	"versadep/internal/trace"
 	"versadep/internal/trace/span"
 	"versadep/internal/transport"
@@ -166,6 +167,18 @@ func (n *ReplicaNode) Register(object string, s orb.Servant) {
 	n.adapter.Register(object, s)
 }
 
+// RegisterDefault installs the adapter's fallback servant (see
+// orb.Adapter.RegisterDefault).
+func (n *ReplicaNode) RegisterDefault(s orb.Servant) {
+	n.adapter.RegisterDefault(s)
+}
+
+// SetRouteCheck installs the adapter's pre-dispatch object check; the
+// shard guard uses it to NAK requests routed under a stale shard map.
+func (n *ReplicaNode) SetRouteCheck(fn func(object string) error) {
+	n.adapter.SetRouteCheck(fn)
+}
+
 // Engine exposes the replication engine (knobs, stats, switches).
 func (n *ReplicaNode) Engine() *replication.Engine { return n.engine }
 
@@ -196,10 +209,13 @@ func (n *ReplicaNode) Leave() {
 }
 
 // ClientNode is one client process: an ORB client whose connection is
-// interposed onto the server group.
+// interposed onto the server group — or, for sharded deployments, onto a
+// router that fans out across every shard's group.
 type ClientNode struct {
 	demux  *transport.Demux
-	wire   *interceptor.GroupWire
+	wire   orb.Wire
+	gw     *interceptor.GroupWire // set for single-group clients
+	router *shard.Router          // set for sharded clients
 	client *orb.Client
 	trace  *trace.Recorder
 }
@@ -222,6 +238,10 @@ type ClientConfig struct {
 	// interceptor filter outcomes). When nil, the node creates its own
 	// recorder; either way it is reachable via ClientNode.Trace.
 	Trace *trace.Recorder
+	// GroupID selects which shard's group this client speaks to when
+	// several groups share the transport (see gcs.Config.GroupID). Zero —
+	// the default — is the unsharded group.
+	GroupID uint32
 }
 
 // StartClient launches a client node on ep.
@@ -239,6 +259,7 @@ func StartClient(ep transport.MultiEndpoint, cfg ClientConfig) *ClientNode {
 	gcc.Model = cfg.Model
 	gcc.Spans = rec.Spans()
 	gcc.SpanKey = requestSpanKey
+	gcc.GroupID = cfg.GroupID
 	gc := gcs.NewClient(d.Conn(transport.ProtoGCS), gcc)
 	d.Handle(transport.ProtoGroupClient, gc.HandleTransport)
 
@@ -261,7 +282,94 @@ func StartClient(ep transport.MultiEndpoint, cfg ClientConfig) *ClientNode {
 	client := orb.NewClient(ep.Addr(), wire, cfg.Model, copts...)
 
 	d.Start()
-	return &ClientNode{demux: d, wire: wire, client: client, trace: rec}
+	return &ClientNode{demux: d, wire: wire, gw: wire, client: client, trace: rec}
+}
+
+// ShardedClientConfig bundles the configuration of a client that spans
+// every shard of a sharded deployment.
+type ShardedClientConfig struct {
+	// Fetch returns the current shard map; the router calls it at start
+	// and again whenever a stale-epoch NAK tells it the layout moved (in
+	// process-per-node deployments this is an HTTP fetch from the
+	// coordinator, in the harness a Coordinator.Snapshot closure).
+	Fetch func() *shard.Map
+	// Model is the virtual-time cost model.
+	Model vtime.CostModel
+	// Filter selects reply filtering per shard wire (default
+	// first-response).
+	Filter interceptor.ReplyFilter
+	// ExpectedReplies is the per-shard replica count for majority voting.
+	ExpectedReplies int
+	// Timeout is the per-attempt reply timeout (real time).
+	Timeout time.Duration
+	// Retries bounds retransmissions per invocation.
+	Retries int
+	// Trace receives the client's counters across the ORB, router and
+	// per-shard wires.
+	Trace *trace.Recorder
+}
+
+// StartShardedClient launches a client node whose ORB is routed across
+// all shards: one transport endpoint, one ORB client, and underneath it a
+// shard.Router holding a lazily dialed GroupWire per shard. All shards'
+// reply traffic shares the endpoint's ProtoGroupClient stream; each
+// shard's GroupClient keeps only the frames stamped with its group id.
+func StartShardedClient(ep transport.MultiEndpoint, cfg ShardedClientConfig) *ClientNode {
+	d := transport.NewDemux(ep)
+
+	rec := cfg.Trace
+	if rec == nil {
+		rec = trace.New()
+	}
+	rec.Spans().SetNode(ep.Addr())
+	d.SetTrace(rec)
+
+	// Inbound ProtoGroupClient messages fan out to every shard's group
+	// client; the per-frame group id filter makes each keep only its own
+	// shard's traffic, so no sender→shard registry is needed.
+	var mu sync.Mutex
+	var groupClients []*gcs.GroupClient
+	d.Handle(transport.ProtoGroupClient, func(msg transport.Message) {
+		mu.Lock()
+		clients := append([]*gcs.GroupClient(nil), groupClients...)
+		mu.Unlock()
+		for _, gc := range clients {
+			gc.HandleTransport(msg)
+		}
+	})
+
+	factory := func(g shard.Group) (orb.Wire, error) {
+		gcc := gcs.DefaultClientConfig(g.Members)
+		gcc.Model = cfg.Model
+		gcc.Spans = rec.Spans()
+		gcc.SpanKey = requestSpanKey
+		gcc.GroupID = uint32(g.ID)
+		gc := gcs.NewClient(d.Conn(transport.ProtoGCS), gcc)
+		mu.Lock()
+		groupClients = append(groupClients, gc)
+		mu.Unlock()
+		opts := []interceptor.GroupWireOption{interceptor.WithGroupTrace(rec)}
+		if cfg.Filter != 0 {
+			opts = append(opts, interceptor.WithFilter(cfg.Filter))
+		}
+		if cfg.ExpectedReplies > 0 {
+			opts = append(opts, interceptor.WithExpectedReplies(cfg.ExpectedReplies))
+		}
+		return interceptor.NewGroupWire(gc, cfg.Model, opts...), nil
+	}
+	router := shard.NewRouter(cfg.Fetch, factory, shard.WithRouterTrace(rec))
+
+	copts := []orb.ClientOption{orb.WithClientTrace(rec)}
+	if cfg.Timeout > 0 {
+		copts = append(copts, orb.WithTimeout(cfg.Timeout))
+	}
+	if cfg.Retries > 0 {
+		copts = append(copts, orb.WithRetries(cfg.Retries))
+	}
+	client := orb.NewClient(ep.Addr(), router, cfg.Model, copts...)
+
+	d.Start()
+	return &ClientNode{demux: d, wire: router, router: router, client: client, trace: rec}
 }
 
 // Addr returns the client's transport address.
@@ -280,8 +388,12 @@ func (c *ClientNode) Invoke(object, op string, args []interface{}, now vtime.Tim
 // ORB exposes the underlying ORB client for typed invocations.
 func (c *ClientNode) ORB() *orb.Client { return c.client }
 
-// Wire exposes the group wire (to retune voting thresholds).
-func (c *ClientNode) Wire() *interceptor.GroupWire { return c.wire }
+// Wire exposes the group wire (to retune voting thresholds). Nil for
+// sharded clients, whose per-shard wires live behind the router.
+func (c *ClientNode) Wire() *interceptor.GroupWire { return c.gw }
+
+// Router exposes the shard router (nil for single-group clients).
+func (c *ClientNode) Router() *shard.Router { return c.router }
 
 // Trace exposes the client node's trace recorder.
 func (c *ClientNode) Trace() *trace.Recorder { return c.trace }

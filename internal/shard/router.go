@@ -1,0 +1,286 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+
+	"versadep/internal/orb"
+	"versadep/internal/trace"
+	"versadep/internal/vtime"
+)
+
+// WireFactory dials the replica group serving one shard and returns an
+// orb.Wire speaking to it (in practice an interceptor.GroupWire over that
+// shard's GroupClient). The router calls it lazily the first time a
+// request routes to a shard, which is how newly added shards become
+// reachable without restarting the client.
+type WireFactory func(g Group) (orb.Wire, error)
+
+// inflightWindow bounds how many outstanding requests the router
+// remembers for stale-NAK re-routing. Matches the order of magnitude of
+// the interceptor's reply-dedup window; requests older than the window
+// fall back on the client ORB's own retransmit.
+const inflightWindow = 1024
+
+type inflightReq struct {
+	bytes  []byte
+	sentAt vtime.Time
+	led    vtime.Ledger
+	// epoch is the map epoch the request was last routed under; a stale
+	// NAK triggers a re-route only once per epoch advance, so a router
+	// and a lagging guard can never spin NAKs at wire speed — if the
+	// refreshed map still routes wrong, the client ORB's retransmit
+	// timer provides the pacing.
+	epoch uint64
+}
+
+// Router multiplexes one client ORB across every shard's replica group:
+// it implements orb.Wire, peeks each outbound request's object reference,
+// and forwards the bytes over the owning shard's wire. Replies from all
+// shards merge into one stream. Stale-epoch NAKs are consumed by the
+// router itself — it refreshes its map from the coordinator and re-sends
+// to the new owner — so the client ORB above never observes
+// reconfiguration, only (at worst) a longer round trip.
+type Router struct {
+	fetch   func() *Map
+	factory WireFactory
+
+	cRouted    *trace.Counter
+	cStaleNAKs *trace.Counter
+	cRefreshes *trace.Counter
+	cReroutes  *trace.Counter
+
+	mu       sync.Mutex
+	m        *Map
+	wires    map[int]orb.Wire
+	inflight map[uint64]*inflightReq
+	closed   bool
+
+	replies chan orb.WireReply
+	stop    chan struct{}
+	wg      sync.WaitGroup
+}
+
+// RouterOption configures a Router.
+type RouterOption func(*Router)
+
+// WithRouterTrace reports routing decisions, stale NAKs, map refreshes
+// and re-routes into r under the "shard" subsystem.
+func WithRouterTrace(r *trace.Recorder) RouterOption {
+	return func(rt *Router) {
+		rt.cRouted = r.Counter(trace.SubShard, "routed")
+		rt.cStaleNAKs = r.Counter(trace.SubShard, "stale_naks")
+		rt.cRefreshes = r.Counter(trace.SubShard, "map_refreshes")
+		rt.cReroutes = r.Counter(trace.SubShard, "reroutes")
+	}
+}
+
+// NewRouter creates a router over the map returned by fetch (called once
+// now and again on every stale NAK), dialing shard groups with factory.
+func NewRouter(fetch func() *Map, factory WireFactory, opts ...RouterOption) *Router {
+	r := &Router{
+		fetch:    fetch,
+		factory:  factory,
+		m:        fetch(),
+		wires:    make(map[int]orb.Wire),
+		inflight: make(map[uint64]*inflightReq),
+		replies:  make(chan orb.WireReply, 64),
+		stop:     make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(r)
+	}
+	return r
+}
+
+// Map returns the router's current view of the shard layout.
+func (r *Router) Map() *Map {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.m
+}
+
+// wireFor returns (dialing if necessary) the wire for the shard owning
+// object under map m.
+func (r *Router) wireFor(m *Map, object string) (orb.Wire, error) {
+	g, ok := m.Lookup(object)
+	if !ok {
+		return nil, fmt.Errorf("shard: no shard for object %q", object)
+	}
+	r.mu.Lock()
+	w := r.wires[g.ID]
+	r.mu.Unlock()
+	if w != nil {
+		return w, nil
+	}
+	w, err := r.factory(g)
+	if err != nil {
+		return nil, fmt.Errorf("shard: dial shard %d: %w", g.ID, err)
+	}
+	r.mu.Lock()
+	if existing := r.wires[g.ID]; existing != nil {
+		r.mu.Unlock()
+		w.Close()
+		return existing, nil
+	}
+	r.wires[g.ID] = w
+	r.mu.Unlock()
+	r.wg.Add(1)
+	go r.forward(w)
+	return w, nil
+}
+
+// Send implements orb.Wire: route by object reference and forward.
+func (r *Router) Send(reqBytes []byte, sentAt vtime.Time, led vtime.Ledger) error {
+	_, rid, err := orb.PeekRequestID(reqBytes)
+	if err != nil {
+		return err
+	}
+	object, err := orb.PeekRequestObject(reqBytes)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return orb.ErrClosed
+	}
+	m := r.m
+	r.inflight[rid] = &inflightReq{bytes: reqBytes, sentAt: sentAt, led: led, epoch: m.Epoch}
+	if len(r.inflight) > inflightWindow {
+		// Drop the oldest entries; their re-route safety net is gone but
+		// the client ORB's retransmit re-registers them on retry.
+		floor := rid
+		for id := range r.inflight {
+			if id < floor {
+				floor = id
+			}
+		}
+		delete(r.inflight, floor)
+	}
+	r.mu.Unlock()
+
+	w, err := r.wireFor(m, object)
+	if err != nil {
+		return err
+	}
+	r.cRouted.Inc()
+	return w.Send(reqBytes, sentAt, led)
+}
+
+// Recv implements orb.Wire.
+func (r *Router) Recv() <-chan orb.WireReply { return r.replies }
+
+// forward pumps one shard wire's replies into the merged stream,
+// intercepting stale-epoch NAKs.
+func (r *Router) forward(w orb.Wire) {
+	defer r.wg.Done()
+	for {
+		select {
+		case wr, ok := <-w.Recv():
+			if !ok {
+				return
+			}
+			if r.handleStale(wr) {
+				continue
+			}
+			select {
+			case r.replies <- wr:
+			case <-r.stop:
+				return
+			}
+		case <-r.stop:
+			return
+		}
+	}
+}
+
+// handleStale inspects a reply; if it is a stale-epoch NAK for a request
+// we still track, it refreshes the map and re-routes, returning true to
+// suppress delivery.
+func (r *Router) handleStale(wr orb.WireReply) bool {
+	_, rid, status, errMsg, err := orb.PeekReplyError(wr.Bytes)
+	if err != nil {
+		return false
+	}
+	if status != orb.StatusException {
+		r.Done(rid) // answered: release re-route bookkeeping
+		return false
+	}
+	guardEpoch, stale := IsStale(errMsg)
+	if !stale {
+		r.Done(rid) // a real servant exception is a final answer too
+		return false
+	}
+	r.cStaleNAKs.Inc()
+
+	r.mu.Lock()
+	req := r.inflight[rid]
+	cur := r.m
+	r.mu.Unlock()
+	if req == nil {
+		return true // NAK for a request we no longer track: swallow it
+	}
+	if cur.Epoch <= guardEpoch || cur.Epoch <= req.epoch {
+		next := r.fetch()
+		r.cRefreshes.Inc()
+		r.mu.Lock()
+		if next.Epoch > r.m.Epoch {
+			r.m = next
+		}
+		cur = r.m
+		r.mu.Unlock()
+	}
+	if cur.Epoch <= req.epoch {
+		// No fresher map than the one this request already failed under;
+		// drop the NAK and let the client ORB's retransmit pace the retry.
+		return true
+	}
+	object, err := orb.PeekRequestObject(req.bytes)
+	if err != nil {
+		return true
+	}
+	r.mu.Lock()
+	req.epoch = cur.Epoch
+	r.mu.Unlock()
+	w, err := r.wireFor(cur, object)
+	if err != nil {
+		return true
+	}
+	r.cReroutes.Inc()
+	w.Send(req.bytes, req.sentAt, req.led)
+	return true
+}
+
+// Done marks a request identifier as answered, releasing its re-route
+// bookkeeping. The replicator's sharded client calls it as replies are
+// consumed; forgetting is harmless (the window prunes).
+func (r *Router) Done(rid uint64) {
+	r.mu.Lock()
+	delete(r.inflight, rid)
+	r.mu.Unlock()
+}
+
+// Close implements orb.Wire, closing every shard wire.
+func (r *Router) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	wires := make([]orb.Wire, 0, len(r.wires))
+	for _, w := range r.wires {
+		wires = append(wires, w)
+	}
+	r.mu.Unlock()
+	close(r.stop)
+	var first error
+	for _, w := range wires {
+		if err := w.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	r.wg.Wait()
+	return first
+}

@@ -51,6 +51,7 @@ const (
 	SubReplication = "replication"
 	SubFaults      = "faults"
 	SubTransport   = "transport"
+	SubShard       = "shard"
 )
 
 // Counter is a monotonic (or gauge, via Store/Max) int64 register. The zero

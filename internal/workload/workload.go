@@ -180,6 +180,10 @@ type Phase struct {
 type OpenLoop struct {
 	Client       *replicator.ClientNode
 	Object, Op   string
+	// Objects, when non-empty, spreads arrivals round-robin across many
+	// object references (overriding Object) — the access pattern sharded
+	// deployments split over the consistent-hash ring.
+	Objects      []string
 	RequestBytes int
 	Phases       []Phase
 	StartVT      vtime.Time
@@ -199,6 +203,10 @@ type OpenLoop struct {
 	// time of the request and its outcome). Called from worker
 	// goroutines.
 	OnReply func(sentVT vtime.Time, out *orb.Outcome)
+	// OnObjectReply, if set, additionally carries the object the request
+	// targeted — per-shard latency attribution keys on it. Called from
+	// worker goroutines.
+	OnObjectReply func(object string, sentVT vtime.Time, out *orb.Outcome)
 	// OnError, if set, observes each failed invocation (virtual arrival
 	// time and the error). Called from worker goroutines; SLO graders use
 	// it to place bad outcomes in the right time window.
@@ -229,6 +237,7 @@ func (o OpenLoop) Run() *Result {
 	}
 	vt := o.StartVT
 	args := []interface{}{[]byte(make([]byte, o.RequestBytes))}
+	seq := 0
 	for _, ph := range o.Phases {
 		if ph.Rate <= 0 {
 			continue
@@ -237,6 +246,11 @@ func (o OpenLoop) Run() *Result {
 		for i := 0; i < ph.Requests; i++ {
 			arrive := vt
 			vt = vt.Add(gap)
+			target := object
+			if len(o.Objects) > 0 {
+				target = o.Objects[seq%len(o.Objects)]
+			}
+			seq++
 			if o.RealPace > 0 {
 				offset := float64(arrive.Sub(o.StartVT)) / float64(vtime.Second)
 				due := epoch.Add(time.Duration(offset * float64(o.RealPace)))
@@ -249,7 +263,7 @@ func (o OpenLoop) Run() *Result {
 			go func() {
 				defer wg.Done()
 				defer func() { <-sem }()
-				out, err := o.Client.Invoke(object, op, args, arrive)
+				out, err := o.Client.Invoke(target, op, args, arrive)
 				mu.Lock()
 				defer mu.Unlock()
 				if err != nil {
@@ -266,6 +280,9 @@ func (o OpenLoop) Run() *Result {
 				}
 				if o.OnReply != nil {
 					o.OnReply(arrive, out)
+				}
+				if o.OnObjectReply != nil {
+					o.OnObjectReply(target, arrive, out)
 				}
 			}()
 		}

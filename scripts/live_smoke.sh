@@ -13,6 +13,14 @@
 # transfer (the leader aborts the orphaned cursor when the joiner drops
 # from the view), and reports synced — liveness of the transfer path
 # across a joiner crash, riding the transport's dial-retry reconnect.
+#
+# Scenario 3: a two-shard deployment — two independent 3-replica groups
+# behind the consistent-hash routing tier, two sharded clients spraying
+# the object keyspace across both, an aggregator scraping one member of
+# each shard with a per-shard label, and a kill -9 of one shard's
+# primary mid-run. Passes iff both clients complete every request (the
+# killed shard fails over, the other is undisturbed) and the
+# aggregator's merged multi-shard exposition lints clean.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -180,3 +188,115 @@ if ! $synced; then
 fi
 echo "smoke: restarted joiner re-admitted and synced after mid-transfer crash"
 grep -h "transfer" "$WORK/xj2.log" | head -3 || true
+
+# ---------------------------------------------------------------------------
+# Scenario 3: two shards, sharded clients, primary kill in one shard.
+for pid in "${PIDS[@]}"; do kill -9 "$pid" 2>/dev/null || true; done
+wait 2>/dev/null || true
+PIDS=()
+
+# Loopback TCP clears ~3k req/s, so the request count must be high
+# enough that the primary kill below genuinely lands mid-run.
+SHARD_REQUESTS=${SHARD_REQUESTS:-2000}
+SPEERS="sa=127.0.0.1:7201,sb=127.0.0.1:7202,sc=127.0.0.1:7203,ta=127.0.0.1:7204,tb=127.0.0.1:7205,tc=127.0.0.1:7206"
+SHARD_MEMBERS="0:sa,sb,sc;1:ta,tb,tc"
+
+start_shard_replica() { # name bind shard seeds extra...
+  local name=$1 bind=$2 shard=$3 seeds=$4; shift 4
+  local args=(-role replica -name "$name" -bind "$bind" -peers "$SPEERS" -shard "$shard")
+  [ -n "$seeds" ] && args+=(-seeds "$seeds")
+  "$WORK/vdnode" "${args[@]}" "$@" >"$WORK/$name.log" 2>&1 &
+  PIDS+=("$!")
+}
+
+start_shard_replica sa 127.0.0.1:7201 0/2 ""
+start_shard_replica ta 127.0.0.1:7204 1/2 ""
+sleep 1
+start_shard_replica sb 127.0.0.1:7202 0/2 sa -introspect 127.0.0.1:7221
+start_shard_replica tb 127.0.0.1:7205 1/2 ta -introspect 127.0.0.1:7222
+sleep 1
+start_shard_replica sc 127.0.0.1:7203 0/2 sa
+start_shard_replica tc 127.0.0.1:7206 1/2 ta
+TA_PID=${PIDS[1]}
+sleep 1
+
+"$WORK/vdnode" -role aggregator -bind 127.0.0.1:7230 \
+  -scrape "sb@0=http://127.0.0.1:7221,tb@1=http://127.0.0.1:7222" \
+  -scrape-every 500ms >"$WORK/agg.log" 2>&1 &
+PIDS+=("$!")
+
+"$WORK/vdnode" -role client -name c1 -bind 127.0.0.1:7210 -peers "$SPEERS" \
+  -shard-members "$SHARD_MEMBERS" -requests "$SHARD_REQUESTS" >"$WORK/c1.log" 2>&1 &
+C1=$!
+PIDS+=("$C1")
+"$WORK/vdnode" -role client -name c2 -bind 127.0.0.1:7211 -peers "$SPEERS" \
+  -shard-members "$SHARD_MEMBERS" -requests "$SHARD_REQUESTS" >"$WORK/c2.log" 2>&1 &
+C2=$!
+PIDS+=("$C2")
+
+sfail() {
+  for f in c1 c2 sa sb sc ta tb tc agg; do
+    echo "--- $f.log (tail) ---"
+    tail -20 "$WORK/$f.log" 2>/dev/null || true
+  done
+  exit 1
+}
+
+# Kill shard 1's primary once both clients are demonstrably mid-run.
+for _ in $(seq 1 400); do
+  grep -q "request 50 ->" "$WORK/c1.log" && grep -q "request 50 ->" "$WORK/c2.log" && break
+  sleep 0.05
+done
+kill -9 "$TA_PID"
+echo "smoke: killed shard 1's primary ta (pid $TA_PID) mid-run"
+if grep -q "done: $SHARD_REQUESTS requests" "$WORK/c1.log" && \
+   grep -q "done: $SHARD_REQUESTS requests" "$WORK/c2.log"; then
+  echo "smoke: WARNING both clients finished before the kill landed — raise SHARD_REQUESTS"
+fi
+
+for c in "$C1" "$C2"; do
+  if ! wait "$c"; then
+    echo "smoke: a sharded client exited with an error after the shard-primary crash"
+    sfail
+  fi
+done
+for f in c1 c2; do
+  if ! grep -q "done: $SHARD_REQUESTS requests" "$WORK/$f.log"; then
+    echo "smoke: $f never reported completing all $SHARD_REQUESTS requests"
+    sfail
+  fi
+done
+echo "smoke: both sharded clients completed all $SHARD_REQUESTS requests across a shard-primary crash"
+
+# The aggregator's merged multi-shard exposition must lint clean and
+# carry the per-shard labels (both the replicas' own shard info gauges,
+# scraped directly, and the aggregator's labeled up-gauges). The clients
+# can outrun the first scrape tick, so poll until both shards report up
+# and the merged replica counters have landed.
+scraped=false
+for _ in $(seq 1 50); do
+  if curl -sf http://127.0.0.1:7230/metrics >"$WORK/agg-metrics.txt" 2>/dev/null &&
+     grep -q 'versadep_shard_up{shard="0",node="sb"} 1' "$WORK/agg-metrics.txt" &&
+     grep -q 'versadep_shard_up{shard="1",node="tb"} 1' "$WORK/agg-metrics.txt" &&
+     grep -q 'versadep_gcs_view_changes' "$WORK/agg-metrics.txt"; then
+    scraped=true; break
+  fi
+  sleep 0.2
+done
+if ! $scraped; then
+  echo "smoke: aggregator never served a merged exposition with both shards up"
+  sfail
+fi
+"$WORK/promlint" "$WORK/agg-metrics.txt" || {
+  echo "smoke: the aggregator's merged exposition is malformed"; sfail; }
+for port in 7221 7222; do
+  curl -sf "http://127.0.0.1:$port/metrics" >"$WORK/shard-$port.txt" || {
+    echo "smoke: could not scrape the shard replica on $port"; sfail; }
+  "$WORK/promlint" "$WORK/shard-$port.txt" || {
+    echo "smoke: shard replica exposition on $port is malformed"; sfail; }
+done
+grep -q 'versadep_shard_info{shard="0"} 1' "$WORK/shard-7221.txt" || {
+  echo "smoke: sb does not expose its shard info gauge"; sfail; }
+grep -q 'versadep_shard_info{shard="1"} 1' "$WORK/shard-7222.txt" || {
+  echo "smoke: tb does not expose its shard info gauge"; sfail; }
+echo "smoke: merged multi-shard exposition lints clean with per-shard labels"
